@@ -1,0 +1,190 @@
+// Command netlisttool works the gate-level substrate from the command
+// line: export the bundled USB design, generate ISCAS-89-style circuits,
+// inspect designs, run trace-signal selection baselines, perform state
+// restoration, and dump simulation waveforms.
+//
+//	netlisttool -export-usb > usb.net             # bundled design as text
+//	netlisttool -gen-ffs 256 -seed 3 > gen.net    # generated circuit
+//	netlisttool -in usb.net -stats                # nets/FFs/buses/modules
+//	netlisttool -in usb.net -sigset 32            # SRR-based selection
+//	netlisttool -in usb.net -prnet 32             # PageRank-based selection
+//	netlisttool -in usb.net -restore rx_shift8    # restoration report
+//	netlisttool -in usb.net -vcd run.vcd          # waveform of a random run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tracescale/internal/circuits"
+	"tracescale/internal/netlist"
+	"tracescale/internal/restore"
+	"tracescale/internal/sigsel"
+	"tracescale/internal/usb"
+
+	"math/rand"
+)
+
+func main() {
+	var (
+		exportUSB = flag.Bool("export-usb", false, "write the bundled USB design as a text netlist and exit")
+		genFFs    = flag.Int("gen-ffs", 0, "generate a synthetic circuit with this many flip-flops and exit")
+		in        = flag.String("in", "", "read a text netlist from this file ('-' for stdin)")
+		stats     = flag.Bool("stats", false, "print design statistics")
+		sigset    = flag.Int("sigset", 0, "run SigSeT selection with this flip-flop budget")
+		prnet     = flag.Int("prnet", 0, "run PRNet selection with this flip-flop budget")
+		restoreFF = flag.String("restore", "", "comma-separated flip-flops to trace; prints the restoration report")
+		vcd       = flag.String("vcd", "", "simulate and write a VCD waveform to this file")
+		cycles    = flag.Int("cycles", 48, "simulation length for -restore/-vcd/selection scoring")
+		seed      = flag.Int64("seed", 1, "stimulus seed")
+	)
+	flag.Parse()
+
+	if *exportUSB {
+		if err := netlist.Format(os.Stdout, usb.Design()); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *genFFs > 0 {
+		n, err := circuits.Generate(circuits.Params{FFs: *genFFs}, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fail(err)
+		}
+		if err := netlist.Format(os.Stdout, n); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var n *netlist.Netlist
+	if *in == "-" {
+		var err error
+		if n, err = netlist.Parse(os.Stdin); err != nil {
+			fail(err)
+		}
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		n, err = netlist.Parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	did := false
+	if *stats {
+		did = true
+		printStats(n)
+	}
+	if *sigset > 0 {
+		did = true
+		sel, err := sigsel.SigSeT(n, sigsel.SigSeTConfig{Budget: *sigset, Cycles: *cycles, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		printSelection(n, "SigSeT", sel, *cycles, *seed)
+	}
+	if *prnet > 0 {
+		did = true
+		sel, err := sigsel.PRNet(n, sigsel.PRNetConfig{Budget: *prnet})
+		if err != nil {
+			fail(err)
+		}
+		printSelection(n, "PRNet", sel, *cycles, *seed)
+	}
+	if *restoreFF != "" {
+		did = true
+		var traced []int
+		for _, name := range strings.Split(*restoreFF, ",") {
+			id, ok := n.NetID(strings.TrimSpace(name))
+			if !ok {
+				fail(fmt.Errorf("unknown net %q", name))
+			}
+			traced = append(traced, id)
+		}
+		tr := netlist.Record(n, *cycles, *seed)
+		res, err := restore.Restore(tr, traced)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("traced %d flip-flops over %d cycles: restored %d of %d state-bits (SRR %.2f, %d sweeps)\n",
+			len(traced), tr.Cycles(), res.KnownFFStates, len(n.FFs())*tr.Cycles(), res.SRR, res.Sweeps)
+	}
+	if *vcd != "" {
+		did = true
+		tr := netlist.Record(n, *cycles, *seed)
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := netlist.WriteVCD(f, tr, nil); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d-cycle waveform of %d nets to %s\n", tr.Cycles(), n.N(), *vcd)
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(n *netlist.Netlist) {
+	gates := 0
+	byModule := map[string]int{}
+	for id := 0; id < n.N(); id++ {
+		k := n.Gate(id).Kind
+		if k != netlist.Input && k != netlist.DFF {
+			gates++
+		}
+		byModule[n.Module(id)]++
+	}
+	fmt.Printf("nets %d, flip-flops %d, inputs %d, gates %d, buses %d\n",
+		n.N(), len(n.FFs()), len(n.Inputs()), gates, len(n.Buses()))
+	modules := make([]string, 0, len(byModule))
+	for m := range byModule {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+	for _, m := range modules {
+		name := m
+		if name == "" {
+			name = "(top)"
+		}
+		fmt.Printf("  %-20s %d nets\n", name, byModule[m])
+	}
+	for _, b := range n.Buses() {
+		fmt.Printf("  bus %-16s %d bits\n", b, len(n.Bus(b)))
+	}
+}
+
+func printSelection(n *netlist.Netlist, method string, sel []int, cycles int, seed int64) {
+	names := make([]string, len(sel))
+	for i, id := range sel {
+		names[i] = n.Name(id)
+	}
+	fmt.Printf("%s selected %d flip-flops: %s\n", method, len(sel), strings.Join(names, ", "))
+	tr := netlist.Record(n, cycles, seed)
+	res, err := restore.Restore(tr, sel)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s restoration: %d of %d state-bits known (SRR %.2f)\n",
+		method, res.KnownFFStates, len(n.FFs())*tr.Cycles(), res.SRR)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netlisttool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (DAC'18, §4-§5) from the bundled OpenSPARC T2 and USB models:
+//
+//	paperbench -all            # everything, terminal format
+//	paperbench -table 3        # one table (1-7)
+//	paperbench -figure 5       # one figure (5-7)
+//	paperbench -figure 6 -csv  # figure data as CSV
+//	paperbench -markdown       # the full evaluation as a markdown report
+//	paperbench -sweep          # buffer-width design-space sweep
+//	paperbench -crossover      # SRR vs coverage crossover study
+//	paperbench -seed 42        # change the experiment seed
+//
+// Absolute numbers depend on the reconstructed models (see DESIGN.md); the
+// qualitative shapes match the paper and are pinned by internal/exp tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescale/internal/exp"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render one table (1-7)")
+		figure   = flag.Int("figure", 0, "render one figure (5-7)")
+		all      = flag.Bool("all", false, "render every table and figure")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		csv      = flag.Bool("csv", false, "emit figure data as CSV (figures 5-7 only)")
+		markdown = flag.Bool("markdown", false, "emit the full evaluation as markdown")
+		sweep    = flag.Bool("sweep", false, "run the buffer-width sweep study")
+		cross    = flag.Bool("crossover", false, "run the SRR-vs-coverage crossover study")
+		curves   = flag.Bool("curves", false, "run the localization-narrowing and selection-baseline studies")
+		scaling  = flag.Bool("scaling", false, "time app-level selection vs gate-level SRR selection")
+		depth    = flag.Bool("depth", false, "run the buffer-depth (wraparound) study")
+	)
+	flag.Parse()
+
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+	w := os.Stdout
+
+	if *markdown {
+		run(exp.RenderMarkdown(w, *seed))
+		return
+	}
+
+	any := false
+	if *sweep {
+		any = true
+		run(exp.RenderWidthSweep(w, []int{8, 16, 24, 32, 48, 64}))
+	}
+	if *cross {
+		any = true
+		run(exp.RenderSRRCrossover(w, *seed))
+	}
+	if *curves {
+		any = true
+		run(exp.RenderLocalizationCurve(w, *seed))
+		run(exp.RenderSelectionBaselines(w, *seed))
+		run(exp.RenderTaggingAblation(w, *seed))
+	}
+	if *scaling {
+		any = true
+		run(exp.RenderScaling(w, *seed))
+	}
+	if *depth {
+		any = true
+		run(exp.RenderDepthStudy(w, *seed))
+	}
+	want := func(t int) bool { return *all || *table == t }
+	wantFig := func(f int) bool { return *all || *figure == f }
+
+	if want(1) {
+		any = true
+		run(exp.RenderTable1(w))
+	}
+	if want(2) {
+		any = true
+		exp.RenderTable2(w)
+	}
+	if want(3) {
+		any = true
+		run(exp.RenderTable3(w, *seed))
+	}
+	if want(4) {
+		any = true
+		run(exp.RenderTable4(w, *seed))
+	}
+	if want(5) {
+		any = true
+		run(exp.RenderTable5(w, *seed))
+	}
+	if want(6) {
+		any = true
+		run(exp.RenderTable6(w, *seed))
+	}
+	if want(7) {
+		any = true
+		run(exp.RenderTable7(w, 1))
+	}
+	if wantFig(5) {
+		any = true
+		if *csv {
+			run(exp.RenderCSVFig5(w))
+		} else {
+			run(exp.RenderFig5(w))
+		}
+	}
+	if wantFig(6) {
+		any = true
+		if *csv {
+			run(exp.RenderCSVFig6(w, *seed))
+		} else {
+			run(exp.RenderFig6(w, *seed))
+		}
+	}
+	if wantFig(7) {
+		any = true
+		if *csv {
+			run(exp.RenderCSVFig7(w, *seed))
+		} else {
+			run(exp.RenderFig7(w, *seed))
+		}
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,159 @@
+// Command t2regress runs the fc1-style regression suite on the
+// transaction-level OpenSPARC T2 model, optionally with one of the
+// catalog bugs injected:
+//
+//	t2regress                 # golden design, all five tests
+//	t2regress -bug 33         # inject the Mondo-generation bug
+//	t2regress -test full_mix  # a single test
+//	t2regress -seed 7 -v      # different schedule, per-message mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tracescale/internal/opensparc"
+	"tracescale/internal/regress"
+	"tracescale/internal/soc"
+	"tracescale/internal/tbuf"
+	"tracescale/internal/trace"
+)
+
+func main() {
+	var (
+		bugID   = flag.Int("bug", 0, "inject this catalog bug (0 = golden design)")
+		name    = flag.String("test", "", "run a single named test")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		verbose = flag.Bool("v", false, "print per-message delivery counts")
+		dump    = flag.String("dump", "", "write each test's full-width trace file into this directory")
+	)
+	flag.Parse()
+
+	var injectors []soc.Injector
+	if *bugID != 0 {
+		bug, err := opensparc.BugByID(*bugID)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("injected: %s\n\n", bug)
+		injectors = append(injectors, bug)
+	}
+
+	var reports []*regress.Report
+	if *name != "" {
+		t, err := regress.TestByName(*name)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := regress.Run(t, *seed, injectors...)
+		if err != nil {
+			fail(err)
+		}
+		reports = append(reports, rep)
+	} else {
+		var err error
+		reports, err = regress.RunSuite(*seed, injectors...)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *dump != "" {
+		tests := regress.Suite()
+		if *name != "" {
+			t, err := regress.TestByName(*name)
+			if err != nil {
+				fail(err)
+			}
+			tests = []regress.Test{t}
+		}
+		for _, t := range tests {
+			if err := dumpTrace(t, *seed, *dump, injectors); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	failures := 0
+	for _, r := range reports {
+		status := "PASS"
+		if !r.Passed {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-14s %s  %5d events  %7d cycles  %d/%d instances\n",
+			r.Test, status, r.Events, r.EndCycle, r.Completed, r.Launched)
+		for _, v := range r.Violations {
+			fmt.Printf("    ! %s\n", v)
+		}
+		if *verbose {
+			names := make([]string, 0, len(r.MessageMix))
+			for m := range r.MessageMix {
+				names = append(names, m)
+			}
+			sort.Strings(names)
+			for _, m := range names {
+				fmt.Printf("    %-14s %d\n", m, r.MessageMix[m])
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d of %d tests failed\n", failures, len(reports))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d tests passed\n", len(reports))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "t2regress:", err)
+	os.Exit(1)
+}
+
+// dumpTrace reruns a regression test and writes every delivered message at
+// full width to <dir>/<test>.trace — mining-grade traces for tracemine.
+func dumpTrace(t regress.Test, seed int64, dir string, injectors []soc.Injector) error {
+	catalog := opensparc.Flows()
+	var launches []soc.Launch
+	names := make([]string, 0, len(t.FlowCounts))
+	for n := range t.FlowCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	stride := t.Stride
+	if stride == 0 {
+		stride = 16
+	}
+	seen := map[string]bool{}
+	var rules []tbuf.Rule
+	for fi, n := range names {
+		f := catalog[n]
+		launches = append(launches, soc.Repeat(f, t.FlowCounts[n], 1, uint64(fi), stride)...)
+		for _, m := range f.Messages() {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+			}
+		}
+	}
+	plan, err := tbuf.NewCapturePlan(rules)
+	if err != nil {
+		return err
+	}
+	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors})
+	if err != nil {
+		return err
+	}
+	mon := soc.NewMonitor(plan, tbuf.New(plan.TotalBits(), len(res.Events)+1), nil)
+	if err := mon.Consume(res.Events); err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(dir, t.Name+".trace"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return trace.Write(out, mon.Buffer().Entries())
+}

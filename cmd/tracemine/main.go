@@ -1,0 +1,75 @@
+// Command tracemine bootstraps flow collateral from traces: given the
+// trace file of a directed test that exercises one protocol, it mines the
+// per-tag message order and emits a scenario spec that cmd/tracesel can
+// run selection on — closing the loop from silicon observation back to
+// the flow specifications the method needs.
+//
+//	tracemine pio.trace                      # mined chain summary
+//	tracemine -spec -name PIOR pio.trace     # scenario spec (JSON) on stdout
+//	tracemine -spec -instances 2 pio.trace   # two legally indexed instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/mine"
+	"tracescale/internal/spec"
+	"tracescale/internal/trace"
+)
+
+func main() {
+	var (
+		emitSpec  = flag.Bool("spec", false, "emit a scenario spec (JSON) instead of a summary")
+		name      = flag.String("name", "mined", "flow name for the emitted spec")
+		instances = flag.Int("instances", 1, "indexed instances in the emitted scenario")
+		width     = flag.Int("width", 32, "trace buffer width in the emitted spec")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	entries, err := trace.Parse(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	mined, err := mine.Chain(entries)
+	if err != nil {
+		fail(err)
+	}
+
+	if !*emitSpec {
+		fmt.Printf("mined a %d-message chain from %d transactions:\n", len(mined.Order), mined.Tags)
+		for i, o := range mined.Order {
+			fmt.Printf("  %2d. %-16s %2d bits (%d occurrences)\n", i+1, o.Name, o.Width, o.Count)
+		}
+		return
+	}
+
+	fl, err := mined.Flow(*name)
+	if err != nil {
+		fail(err)
+	}
+	insts := make([]flow.Instance, *instances)
+	for i := range insts {
+		insts[i] = flow.Instance{Flow: fl, Index: i + 1}
+	}
+	s := spec.FromFlows(*name, []*flow.Flow{fl}, insts, *width)
+	if err := spec.Write(os.Stdout, s); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracemine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command tracesel runs trace-message selection on a usage-scenario
+// specification:
+//
+//	tracesel -spec scenario.json            # select with the spec's budget
+//	tracesel -spec scenario.json -width 64  # override the buffer width
+//	tracesel -spec scenario.json -method knapsack -no-pack
+//	tracesel -export-toy                    # print an example spec and exit
+//	tracesel -export-t2 1                   # export a bundled T2 scenario
+//
+// The spec format (JSON) describes flow DAGs, the indexed instances of the
+// scenario, and the trace-buffer width; see internal/spec. Output reports
+// the selected message combination, packed subgroups, utilization, mutual
+// information gain, and flow-specification coverage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracescale/internal/core"
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+	"tracescale/internal/opensparc"
+	"tracescale/internal/spec"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "path to the scenario spec (JSON)")
+		width     = flag.Int("width", 0, "override the trace buffer width")
+		method    = flag.String("method", "exhaustive", "selection method: exhaustive, knapsack, greedy, max-coverage")
+		noPack    = flag.Bool("no-pack", false, "disable Step-3 subgroup packing")
+		exportToy = flag.Bool("export-toy", false, "print the toy cache-coherence spec and exit")
+		exportT2  = flag.Int("export-t2", 0, "print the spec of a T2 usage scenario (1-3) and exit")
+		dotFlows  = flag.String("dot-flows", "", "write per-flow Graphviz files into this directory")
+		dotProd   = flag.String("dot-product", "", "write the interleaved flow as Graphviz to this file")
+	)
+	flag.Parse()
+
+	if *exportToy {
+		f := flow.CacheCoherence()
+		s := spec.FromFlows("toy-cache-coherence", []*flow.Flow{f},
+			[]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}, 2)
+		if err := spec.Write(os.Stdout, s); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *exportT2 != 0 {
+		scenario, err := opensparc.ScenarioByID(*exportT2)
+		if err != nil {
+			fail(err)
+		}
+		flows := scenario.Flows()
+		insts := make([]flow.Instance, len(flows))
+		for i, f := range flows {
+			insts[i] = flow.Instance{Flow: f, Index: 1}
+		}
+		s := spec.FromFlows(scenario.Name, flows, insts, 32)
+		if err := spec.Write(os.Stdout, s); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	file, err := os.Open(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	defer file.Close()
+	s, err := spec.Parse(file)
+	if err != nil {
+		fail(err)
+	}
+	insts, err := s.Build()
+	if err != nil {
+		fail(err)
+	}
+	p, err := interleave.New(insts)
+	if err != nil {
+		fail(err)
+	}
+	e, err := core.NewEvaluator(p)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := core.Config{BufferWidth: s.BufferWidth, DisablePacking: *noPack}
+	if *width > 0 {
+		cfg.BufferWidth = *width
+	}
+	switch *method {
+	case "exhaustive":
+		cfg.Method = core.Exhaustive
+	case "knapsack":
+		cfg.Method = core.Knapsack
+	case "greedy":
+		cfg.Method = core.Greedy
+	case "max-coverage":
+		cfg.Method = core.MaxCoverage
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+	res, err := core.Select(e, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("scenario: %s\n", s.Name)
+	fmt.Printf("interleaved flow: %d states, %d edges, %s executions\n",
+		p.NumStates(), p.NumEdges(), p.TotalPaths())
+	fmt.Printf("buffer: %d bits, method: %s\n\n", cfg.BufferWidth, cfg.Method)
+	fmt.Printf("selected messages (%d bits):\n", res.SelectedWidth)
+	for _, name := range res.Selected {
+		m, _ := e.MessageByName(name)
+		fmt.Printf("  %-20s %2d bits  %s -> %s\n", m.Name, m.Width, m.Src, m.Dst)
+	}
+	if len(res.Packed) > 0 {
+		fmt.Println("packed subgroups:")
+		for _, g := range res.Packed {
+			fmt.Printf("  %-20s %2d bits  (of %s)\n", g.Message+"."+g.Group, g.Width, g.Message)
+		}
+	}
+	fmt.Printf("\nutilization: %.2f%%  gain: %.4f nats  coverage: %.2f%%\n",
+		100*res.Utilization, res.Gain, 100*res.Coverage)
+
+	if *dotFlows != "" {
+		seen := map[string]bool{}
+		for _, in := range insts {
+			if seen[in.Flow.Name()] {
+				continue
+			}
+			seen[in.Flow.Name()] = true
+			f, err := os.Create(filepath.Join(*dotFlows, in.Flow.Name()+".dot"))
+			if err != nil {
+				fail(err)
+			}
+			if err := in.Flow.WriteDOT(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+		fmt.Printf("flow DOT files written to %s\n", *dotFlows)
+	}
+	if *dotProd != "" {
+		f, err := os.Create(*dotProd)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := p.WriteDOT(f, nil, nil); err != nil {
+			fail(err)
+		}
+		fmt.Printf("interleaving DOT written to %s\n", *dotProd)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracesel:", err)
+	os.Exit(1)
+}

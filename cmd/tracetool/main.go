@@ -1,0 +1,143 @@
+// Command tracetool works with trace files (the monitor format,
+// "@cycle index:message bits"):
+//
+//	tracetool -stats buggy.trace             # volume, span, per-message counts
+//	tracetool -project 3 buggy.trace         # one tag's message sequence
+//	tracetool -diff golden.trace buggy.trace # per-message status classification
+//	tracetool -diff ... -focus 5             # focus the diff on one tag
+//
+// The diff is the first step of the paper's debugging procedure: classify
+// every traced message of the failing run against the golden reference
+// (missing / reduced / corrupt / normal) before investigating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tracescale/internal/debugger"
+	"tracescale/internal/tbuf"
+	"tracescale/internal/trace"
+)
+
+func main() {
+	var (
+		stats   = flag.Bool("stats", false, "print trace statistics")
+		project = flag.Int("project", -1, "print the message sequence of this tag")
+		diff    = flag.Bool("diff", false, "classify <golden> vs <buggy>")
+		focus   = flag.Int("focus", -1, "tag to focus the diff on (-1 = first divergence)")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	switch {
+	case *stats && len(args) == 1:
+		entries := parse(args[0])
+		s := trace.Summarize(entries)
+		fmt.Printf("%s: %d entries over cycles [%d, %d] (span %d)\n",
+			args[0], s.Entries, s.FirstCycle, s.LastCycle, s.Span())
+		for _, name := range s.Names() {
+			fmt.Printf("  %-16s %d\n", name, s.PerMessage[name])
+		}
+	case *project >= 0 && len(args) == 1:
+		entries := parse(args[0])
+		msgs := trace.Project(entries, *project)
+		if len(msgs) == 0 {
+			fmt.Printf("tag %d: no entries\n", *project)
+			return
+		}
+		fmt.Printf("tag %d (%d entries):\n", *project, len(msgs))
+		for _, m := range msgs {
+			fmt.Printf("  %s\n", m)
+		}
+	case *diff && len(args) == 2:
+		golden := parse(args[0])
+		buggy := parse(args[1])
+		traced := map[string]bool{}
+		for _, e := range golden {
+			traced[e.Msg.Name] = true
+		}
+		for _, e := range buggy {
+			traced[e.Msg.Name] = true
+		}
+		f := *focus
+		if f < 0 {
+			f = firstDivergentTag(golden, buggy)
+		}
+		obs := debugger.ObserveEntries(golden, buggy, traced, f)
+		names := make([]string, 0, len(traced))
+		for n := range traced {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("focused on tag %d (message: whole run / focused tag)\n", f)
+		affected := 0
+		for _, n := range names {
+			marker := " "
+			if obs.Global[n] != debugger.Normal || obs.Focused[n] != debugger.Normal {
+				marker = "!"
+				affected++
+			}
+			fmt.Printf("%s %-16s %-8s / %-8s (%d entries)\n",
+				marker, n, obs.Global[n], obs.Focused[n], obs.Entries[n])
+		}
+		fmt.Printf("%d of %d messages affected\n", affected, len(names))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// firstDivergentTag finds the lowest tag whose entry count differs between
+// the two traces — a cheap symptom locator when none is supplied.
+func firstDivergentTag(golden, buggy []tbuf.Entry) int {
+	count := func(es []tbuf.Entry) map[int]int {
+		m := map[int]int{}
+		for _, e := range es {
+			m[e.Msg.Index]++
+		}
+		return m
+	}
+	g, b := count(golden), count(buggy)
+	tags := map[int]bool{}
+	for t := range g {
+		tags[t] = true
+	}
+	for t := range b {
+		tags[t] = true
+	}
+	ordered := make([]int, 0, len(tags))
+	for t := range tags {
+		ordered = append(ordered, t)
+	}
+	sort.Ints(ordered)
+	for _, t := range ordered {
+		if g[t] != b[t] {
+			return t
+		}
+	}
+	if len(ordered) > 0 {
+		return ordered[0]
+	}
+	return -1
+}
+
+func parse(path string) []tbuf.Entry {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	entries, err := trace.Parse(f)
+	if err != nil {
+		fail(err)
+	}
+	return entries
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}

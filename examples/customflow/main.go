@@ -1,0 +1,103 @@
+// Customflow: author your own SoC protocol flows against the public API —
+// a DMA engine with a branching completion (success or retry) interleaved
+// with a doorbell flow — then size the trace buffer and compare selection
+// methods. Demonstrates branching DAG flows, message subgroups, packing,
+// and the exhaustive/knapsack/greedy selectors.
+//
+//	go run ./examples/customflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracescale"
+)
+
+func dmaFlow() (*tracescale.Flow, error) {
+	b := tracescale.NewFlow("dma")
+	b.States("Idle", "Prog", "Busy", "Done", "Retry")
+	b.Init("Idle")
+	b.Stop("Done")
+	b.Atomic("Busy") // the engine owns the bus while a burst is in flight
+	b.Message(tracescale.Message{Name: "desc", Width: 24, Src: "CPU", Dst: "DMA",
+		Groups: []tracescale.Group{
+			{Name: "len", Width: 8},
+			{Name: "chan", Width: 4},
+		}})
+	b.Message(tracescale.Message{Name: "go", Width: 2, Src: "CPU", Dst: "DMA"})
+	b.Message(tracescale.Message{Name: "burst", Width: 16, Src: "DMA", Dst: "MEM",
+		Groups: []tracescale.Group{{Name: "addrhi", Width: 6}}})
+	b.Message(tracescale.Message{Name: "done", Width: 2, Src: "DMA", Dst: "CPU"})
+	b.Message(tracescale.Message{Name: "nak", Width: 2, Src: "MEM", Dst: "DMA"})
+	b.Edge("Idle", "Prog", "desc")
+	b.Edge("Prog", "Busy", "go")
+	b.Edge("Busy", "Done", "done")
+	b.Edge("Busy", "Retry", "nak") // branching: the burst can be refused
+	b.Edge("Retry", "Done", "burst")
+	return b.Build()
+}
+
+func doorbellFlow() (*tracescale.Flow, error) {
+	b := tracescale.NewFlow("doorbell")
+	b.States("DIdle", "DRung", "DAcked")
+	b.Init("DIdle")
+	b.Stop("DAcked")
+	b.Message(tracescale.Message{Name: "ring", Width: 4, Src: "CPU", Dst: "DMA"})
+	b.Message(tracescale.Message{Name: "ringack", Width: 2, Src: "DMA", Dst: "CPU"})
+	b.Chain([]string{"DIdle", "DRung", "DAcked"}, []string{"ring", "ringack"})
+	return b.Build()
+}
+
+func main() {
+	dma, err := dmaFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bell, err := doorbellFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dma: %d executions (branching DAG)\n", dma.NumExecutions())
+
+	product, err := tracescale.Interleave([]tracescale.Instance{
+		{Flow: dma, Index: 1},
+		{Flow: dma, Index: 2}, // two DMA channels in flight
+		{Flow: bell, Index: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := tracescale.NewEvaluator(product)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interleaving: %d states, %v executions\n\n",
+		product.NumStates(), product.TotalPaths())
+
+	for _, width := range []int{8, 16, 32} {
+		res, err := tracescale.Select(eval, tracescale.Config{BufferWidth: width})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d-bit buffer: select %v", width, res.Selected)
+		if len(res.Packed) > 0 {
+			fmt.Printf(" + packed %v", res.Packed)
+		}
+		fmt.Printf("\n              gain %.3f, coverage %.1f%%, utilization %.1f%%\n",
+			res.Gain, 100*res.Coverage, 100*res.Utilization)
+	}
+
+	// The gain metric is additive, so the exact knapsack matches the
+	// exhaustive search at a fraction of the cost; greedy is close.
+	fmt.Println("\nmethod comparison (16-bit buffer, packing off):")
+	for _, m := range []tracescale.Method{tracescale.Exhaustive, tracescale.Knapsack, tracescale.Greedy} {
+		res, err := tracescale.Select(eval, tracescale.Config{
+			BufferWidth: 16, Method: m, DisablePacking: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10v gain %.4f  %v\n", m, res.SelectedGain, res.Selected)
+	}
+}

@@ -1,0 +1,3 @@
+module tracescale
+
+go 1.22

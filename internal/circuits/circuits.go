@@ -1,0 +1,141 @@
+// Package circuits generates parameterized synthetic sequential circuits
+// in the style of the ISCAS-89 benchmarks: a mix of shift chains,
+// counters, and random combinational logic over flip-flops. The paper's
+// §1 argues that SRR-based selection "suffers severely from scalability
+// issues" and cannot reach designs of OpenSPARC T2's size — these
+// circuits drive the scaling study that quantifies the claim on the
+// gate-level substrate (see BenchmarkSigSeTScaling).
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracescale/internal/netlist"
+)
+
+// Params sizes a generated circuit.
+type Params struct {
+	// FFs is the flip-flop count (default 64).
+	FFs int
+	// Inputs is the primary input count (default 4).
+	Inputs int
+	// ShiftFraction of the flip-flops form shift chains (restoration
+	// honeypots); the rest carry random logic. Default 0.5.
+	ShiftFraction float64
+	// ChainDepth is the length of each shift chain (default 8).
+	ChainDepth int
+	// FaninMax bounds random gate fan-in (default 3, min 2).
+	FaninMax int
+}
+
+func (p Params) withDefaults() Params {
+	if p.FFs == 0 {
+		p.FFs = 64
+	}
+	if p.Inputs == 0 {
+		p.Inputs = 4
+	}
+	if p.ShiftFraction == 0 {
+		p.ShiftFraction = 0.5
+	}
+	if p.ChainDepth < 2 {
+		p.ChainDepth = 8
+	}
+	if p.FaninMax < 2 {
+		p.FaninMax = 3
+	}
+	return p
+}
+
+// Generate builds a random sequential circuit. Deterministic in rng.
+func Generate(p Params, rng *rand.Rand) (*netlist.Netlist, error) {
+	p = p.withDefaults()
+	if p.FFs < 2 {
+		return nil, fmt.Errorf("circuits: need >= 2 flip-flops, got %d", p.FFs)
+	}
+	b := netlist.NewBuilder()
+	b.SetModule("gen")
+
+	inputs := make([]int, p.Inputs)
+	for i := range inputs {
+		inputs[i] = b.Input(fmt.Sprintf("pi%d", i))
+	}
+
+	// Shift chains.
+	nShift := int(float64(p.FFs) * p.ShiftFraction)
+	var ffs []int
+	chain := 0
+	for len(ffs) < nShift {
+		depth := p.ChainDepth
+		if rem := nShift - len(ffs); rem < depth {
+			depth = rem
+		}
+		prev := inputs[rng.Intn(len(inputs))]
+		for d := 0; d < depth; d++ {
+			ff := b.DFF(fmt.Sprintf("sh%d_%d", chain, d))
+			b.Connect(ff, prev)
+			prev = ff
+			ffs = append(ffs, ff)
+		}
+		chain++
+	}
+
+	// Random-logic flip-flops: each samples a random gate over existing
+	// state and inputs.
+	kinds := []netlist.Kind{netlist.And, netlist.Or, netlist.Xor, netlist.Nand, netlist.Nor}
+	pick := func() int {
+		pool := len(ffs) + len(inputs)
+		i := rng.Intn(pool)
+		if i < len(ffs) {
+			return ffs[i]
+		}
+		return inputs[i-len(ffs)]
+	}
+	for i := len(ffs); i < p.FFs; i++ {
+		fanin := 2 + rng.Intn(p.FaninMax-1)
+		ins := make([]int, fanin)
+		for j := range ins {
+			ins[j] = pick()
+		}
+		// A gate's inputs must be distinct nets only by convention; allow
+		// repeats — real synthesized logic has them too.
+		g := b.Gate(fmt.Sprintf("lg%d", i), kinds[rng.Intn(len(kinds))], ins...)
+		ff := b.DFF(fmt.Sprintf("r%d", i))
+		b.Connect(ff, g)
+		ffs = append(ffs, ff)
+	}
+	return b.Build()
+}
+
+// S27 returns a fixed circuit modeled on the classic ISCAS-89 s27
+// benchmark shape (3 flip-flops, 4 inputs, a handful of gates) — a
+// sanity-check target for the restoration engine.
+func S27() *netlist.Netlist {
+	b := netlist.NewBuilder()
+	b.SetModule("s27")
+	g0 := b.Input("G0")
+	g1 := b.Input("G1")
+	g2 := b.Input("G2")
+	g3 := b.Input("G3")
+	q5 := b.DFF("G5")
+	q6 := b.DFF("G6")
+	q7 := b.DFF("G7")
+	n14 := b.Gate("G14", netlist.Not, g0)
+	n8 := b.Gate("G8", netlist.And, g1, q7)
+	n15 := b.Gate("G15", netlist.Or, g3, n8)
+	n9 := b.Gate("G9", netlist.Nand, n14, n15)
+	n12 := b.Gate("G12", netlist.Nor, g2, q6)
+	n16 := b.Gate("G16", netlist.Or, q5, n12)
+	n10 := b.Gate("G10", netlist.Nor, n9, n16)
+	n13 := b.Gate("G13", netlist.Nor, n10, n12)
+	n11 := b.Gate("G11", netlist.Xor, n13, n15)
+	b.Connect(q5, n10)
+	b.Connect(q6, n11)
+	b.Connect(q7, n13)
+	n, err := b.Build()
+	if err != nil {
+		panic("circuits: s27 fixture invalid: " + err.Error())
+	}
+	return n
+}

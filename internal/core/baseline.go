@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// The naive baselines quantify how much the information-gain metric buys
+// over uninformed selection (the §5.3 validity argument from the other
+// side): RandomBaseline draws width-feasible combinations blindly, and
+// WidestFirstBaseline encodes the "big signals must matter" intuition that
+// gate-level selectors implicitly follow.
+
+// RandomBaseline returns a random width-feasible message combination:
+// messages are shuffled (seeded) and added while they fit.
+func RandomBaseline(e *Evaluator, budget int, seed int64) (Candidate, error) {
+	n := len(e.universe)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	chosen := make([]bool, n)
+	left := budget
+	any := false
+	for _, i := range order {
+		if w := e.universe[i].TraceWidth(); w <= left {
+			chosen[i] = true
+			left -= w
+			any = true
+		}
+	}
+	if !any {
+		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
+	}
+	return e.candidateFromSet(chosen), nil
+}
+
+// WidestFirstBaseline adds messages in decreasing width while they fit —
+// prioritizing raw signal volume over information.
+func WidestFirstBaseline(e *Evaluator, budget int) (Candidate, error) {
+	n := len(e.universe)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := e.universe[order[a]].TraceWidth(), e.universe[order[b]].TraceWidth()
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	chosen := make([]bool, n)
+	left := budget
+	any := false
+	for _, i := range order {
+		if w := e.universe[i].TraceWidth(); w <= left {
+			chosen[i] = true
+			left -= w
+			any = true
+		}
+	}
+	if !any {
+		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
+	}
+	return e.candidateFromSet(chosen), nil
+}

@@ -1,0 +1,178 @@
+// Package core implements the paper's trace-message selection methodology
+// (DAC'18, §3): Step 1 enumerates message combinations that fit the trace
+// buffer, Step 2 selects the combination with the highest mutual
+// information gain over the interleaved flow, and Step 3 packs leftover
+// buffer bits with subgroups of wide messages. It also provides the
+// flow-specification-coverage metric (Definition 7) and scalable selection
+// variants (exact knapsack and lazy greedy) that exploit the additivity of
+// the paper's gain metric.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/info"
+	"tracescale/internal/interleave"
+)
+
+// Evaluator precomputes the sufficient statistics of an interleaved flow
+// so that the gain and coverage of many candidate message combinations can
+// be scored cheaply. Create one with NewEvaluator and reuse it across
+// candidates.
+type Evaluator struct {
+	p         *interleave.Product
+	universe  []flow.Message // distinct messages across all instances, in first-appearance order
+	byName    map[string]int // name -> index into universe
+	gainOf    []float64      // per-universe-message gain contribution (additive)
+	visibleOf [][]int        // per-universe-message sorted visible product states
+	totalOcc  int
+}
+
+// NewEvaluator analyzes the interleaved flow. It fails if two flows declare
+// messages with the same name but different width, source, or destination:
+// a message name must identify one physical interface signal group.
+func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
+	e := &Evaluator{
+		p:      p,
+		byName: make(map[string]int),
+	}
+	for _, in := range p.Instances() {
+		for _, m := range in.Flow.Messages() {
+			if i, ok := e.byName[m.Name]; ok {
+				prev := e.universe[i]
+				if prev.Width != m.Width || prev.Src != m.Src || prev.Dst != m.Dst {
+					return nil, fmt.Errorf("core: message %q redeclared with conflicting definition (%d bits %s->%s vs %d bits %s->%s)",
+						m.Name, prev.Width, prev.Src, prev.Dst, m.Width, m.Src, m.Dst)
+				}
+				continue
+			}
+			e.byName[m.Name] = len(e.universe)
+			e.universe = append(e.universe, m)
+		}
+	}
+
+	stats := p.MessageStats()
+	for _, st := range stats {
+		e.totalOcc += st.Count
+	}
+	if e.totalOcc == 0 {
+		return nil, fmt.Errorf("core: interleaved flow has no transitions")
+	}
+
+	// The paper's gain metric is additive across messages: each indexed
+	// message y contributes Σ_x p(x,y)·ln(p(x,y)/(p(x)p(y))) with
+	// p(x) = 1/|S| uniform and p(y) = occurrences(y)/totalOcc, regardless
+	// of which other messages share the combination. Precompute each
+	// universe message's contribution (summing over its indices).
+	px := 1.0 / float64(p.NumStates())
+	e.gainOf = make([]float64, len(e.universe))
+	e.visibleOf = make([][]int, len(e.universe))
+	visSets := make([]map[int]bool, len(e.universe))
+	for i := range visSets {
+		visSets[i] = make(map[int]bool)
+	}
+	for im, st := range stats {
+		i, ok := e.byName[im.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: product edge labeled with unknown message %q", im.Name)
+		}
+		py := float64(st.Count) / float64(e.totalOcc)
+		var acc info.Accumulator
+		for x, c := range st.Targets {
+			pxy := py * float64(c) / float64(st.Count)
+			acc.Add(pxy, px, py)
+			visSets[i][x] = true
+		}
+		e.gainOf[i] += acc.Value()
+	}
+	for i, set := range visSets {
+		states := make([]int, 0, len(set))
+		for x := range set {
+			states = append(states, x)
+		}
+		sort.Ints(states)
+		e.visibleOf[i] = states
+	}
+	return e, nil
+}
+
+// Product returns the interleaved flow under evaluation.
+func (e *Evaluator) Product() *interleave.Product { return e.p }
+
+// Universe returns the distinct messages of the participating flows in
+// first-appearance order. The slice must not be modified.
+func (e *Evaluator) Universe() []flow.Message { return e.universe }
+
+// MessageByName returns the universe message with the given name.
+func (e *Evaluator) MessageByName(name string) (flow.Message, bool) {
+	if i, ok := e.byName[name]; ok {
+		return e.universe[i], true
+	}
+	return flow.Message{}, false
+}
+
+func (e *Evaluator) indices(names []string) ([]int, error) {
+	seen := make(map[int]bool, len(names))
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := e.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown message %q", n)
+		}
+		if seen[i] {
+			continue // a combination is a set; duplicates are harmless
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// Gain returns the mutual information gain I(X;Y) in nats of the message
+// combination over the interleaved flow (§3.2). Duplicate names count
+// once. Unknown names are an error.
+func (e *Evaluator) Gain(names []string) (float64, error) {
+	idx, err := e.indices(names)
+	if err != nil {
+		return 0, err
+	}
+	g := 0.0
+	for _, i := range idx {
+		g += e.gainOf[i]
+	}
+	return g, nil
+}
+
+// Coverage returns the flow-specification coverage (Definition 7) of the
+// message combination: the fraction of interleaved-flow states entered by
+// a transition labeled with one of the messages.
+func (e *Evaluator) Coverage(names []string) (float64, error) {
+	idx, err := e.indices(names)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		for _, x := range e.visibleOf[i] {
+			seen[x] = true
+		}
+	}
+	return float64(len(seen)) / float64(e.p.NumStates()), nil
+}
+
+// Width returns the summed per-cycle trace width of the combination
+// (Definition 6, with footnote 2's rule for multi-cycle messages).
+// Duplicate names count once.
+func (e *Evaluator) Width(names []string) (int, error) {
+	idx, err := e.indices(names)
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, i := range idx {
+		w += e.universe[i].TraceWidth()
+	}
+	return w, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+)
+
+// multicycleEvaluator: a flow with a 20-bit message streamed over 4 cycles
+// (5 buffer bits per cycle, footnote 2) next to ordinary messages.
+func multicycleEvaluator(t *testing.T) *Evaluator {
+	t.Helper()
+	b := flow.NewBuilder("mc")
+	b.States("a", "b", "c", "d")
+	b.Init("a")
+	b.Stop("d")
+	b.Message(flow.Message{Name: "hdr", Width: 4, Src: "X", Dst: "Y"})
+	b.Message(flow.Message{Name: "payload", Width: 20, Cycles: 4, Src: "Y", Dst: "Z"})
+	b.Message(flow.Message{Name: "ack", Width: 3, Src: "Z", Dst: "X"})
+	b.Chain([]string{"a", "b", "c", "d"}, []string{"hdr", "payload", "ack"})
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := interleave.New([]flow.Instance{{Flow: f, Index: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTraceWidth(t *testing.T) {
+	cases := []struct {
+		width, cycles, want int
+	}{
+		{20, 0, 20},
+		{20, 1, 20},
+		{20, 4, 5},
+		{20, 3, 7}, // ceil(20/3)
+		{1, 1, 1},
+	}
+	for _, tc := range cases {
+		m := flow.Message{Width: tc.width, Cycles: tc.cycles}
+		if got := m.TraceWidth(); got != tc.want {
+			t.Errorf("TraceWidth(%d over %d cycles) = %d, want %d", tc.width, tc.cycles, got, tc.want)
+		}
+	}
+}
+
+func TestBuilderRejectsBadCycles(t *testing.T) {
+	for _, cycles := range []int{-1, 21} {
+		b := flow.NewBuilder("bad")
+		b.States("a", "b")
+		b.Init("a")
+		b.Stop("b")
+		b.Message(flow.Message{Name: "m", Width: 20, Cycles: cycles})
+		b.Edge("a", "b", "m")
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Cycles=%d accepted", cycles)
+		}
+	}
+}
+
+func TestMulticycleWidthAccounting(t *testing.T) {
+	e := multicycleEvaluator(t)
+	w, err := e.Width([]string{"hdr", "payload", "ack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4+5+3 {
+		t.Fatalf("Width = %d, want 12 (payload costs 5 bits/cycle)", w)
+	}
+}
+
+// With trace-width accounting, the streamed payload fits a 12-bit buffer
+// alongside everything else; without it (a 20-bit charge) it never could.
+func TestMulticycleSelection(t *testing.T) {
+	e := multicycleEvaluator(t)
+	for _, m := range []Method{Exhaustive, Knapsack, Greedy} {
+		res, err := Select(e, Config{BufferWidth: 12, Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res.Selected) != 3 {
+			t.Errorf("%v selected %v, want all three messages", m, res.Selected)
+		}
+		if res.Width != 12 {
+			t.Errorf("%v width = %d, want 12", m, res.Width)
+		}
+	}
+}
+
+func TestMaxCoverageMethod(t *testing.T) {
+	e := multicycleEvaluator(t)
+	res, err := Select(e, Config{BufferWidth: 12, Method: MaxCoverage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 0.75 {
+		t.Errorf("coverage = %g, want 3/4 (all non-initial states visible)", res.Coverage)
+	}
+	if MaxCoverage.String() != "max-coverage" {
+		t.Error("method string wrong")
+	}
+	// Tight budget: max-coverage picks the cheapest high-coverage set.
+	res, err = Select(e, Config{BufferWidth: 8, Method: MaxCoverage, DisablePacking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width > 8 {
+		t.Errorf("width %d over budget", res.Width)
+	}
+	if res.Coverage < 0.5 {
+		t.Errorf("coverage = %g, want >= 0.5 with 8 bits", res.Coverage)
+	}
+	if _, err := Select(e, Config{BufferWidth: 2, Method: MaxCoverage}); err == nil {
+		t.Error("nothing fits in 2 bits; should fail")
+	}
+}
+
+// The §5.3 ablation shape: on the paper's toy example, the max-gain
+// selection covers at least as much as coverage-greedy at the same budget.
+func TestGainSelectionCoverageCompetitive(t *testing.T) {
+	f := flow.CacheCoherence()
+	p, err := interleave.New([]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGain, err := Select(e, Config{BufferWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCov, err := Select(e, Config{BufferWidth: 2, Method: MaxCoverage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byGain.Coverage < byCov.Coverage-1e-12 {
+		t.Errorf("gain-selected coverage %.4f below coverage-greedy %.4f", byGain.Coverage, byCov.Coverage)
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Method selects the Step-2 search strategy.
+type Method int
+
+const (
+	// Exhaustive enumerates every width-feasible combination (the paper's
+	// Step 1 + Step 2). Exponential in the number of messages; fine for
+	// per-scenario message counts, and the reference the other methods are
+	// validated against.
+	Exhaustive Method = iota
+	// Knapsack solves Step 2 exactly in O(messages × budget) by dynamic
+	// programming, exploiting the additivity of the gain metric. This is
+	// the scalable selector.
+	Knapsack
+	// Greedy adds messages in decreasing gain density (gain per bit).
+	// Fastest, not always optimal; provided for the scalability ablation.
+	Greedy
+	// MaxCoverage greedily maximizes flow-specification coverage directly
+	// instead of information gain — the ablation behind §5.3: if gain is a
+	// good selection metric, the max-gain combination should cover nearly
+	// as much as the coverage-greedy one.
+	MaxCoverage
+)
+
+func (m Method) String() string {
+	switch m {
+	case Exhaustive:
+		return "exhaustive"
+	case Knapsack:
+		return "knapsack"
+	case Greedy:
+		return "greedy"
+	case MaxCoverage:
+		return "max-coverage"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config parameterizes Select.
+type Config struct {
+	// BufferWidth is the trace buffer width in bits (the paper uses 32).
+	BufferWidth int
+	// Method is the Step-2 strategy (default Exhaustive).
+	Method Method
+	// DisablePacking skips Step 3 (the paper's "WoP" configuration).
+	DisablePacking bool
+	// MaxCandidates bounds exhaustive enumeration (default 1<<22); Select
+	// fails rather than hang when the message universe is too large for
+	// Exhaustive — use Knapsack there.
+	MaxCandidates int
+	// KeepCandidates retains every feasible candidate with its gain and
+	// coverage in Result.Candidates (needed for the Figure-5 correlation
+	// study). Only honored by the Exhaustive method.
+	KeepCandidates bool
+}
+
+// Candidate is one width-feasible message combination with its scores.
+type Candidate struct {
+	Messages []string // message names in universe order
+	Width    int
+	Gain     float64 // nats
+	Coverage float64
+}
+
+// PackedGroup is a subgroup added to the trace buffer by Step 3.
+type PackedGroup struct {
+	Message string // parent message name
+	Group   string
+	Width   int
+}
+
+// Result is the outcome of the full selection pipeline.
+type Result struct {
+	// Selected is the Step-2 message combination.
+	Selected []string
+	// Packed lists the Step-3 subgroups, in packing order.
+	Packed []PackedGroup
+	// Width is the total traced bits (selection + packing).
+	Width int
+	// Utilization is Width / BufferWidth.
+	Utilization float64
+	// Gain is the mutual information gain of the final traced set, where a
+	// packed subgroup contributes its parent message's occurrences.
+	Gain float64
+	// Coverage is the flow-specification coverage of the final traced set.
+	Coverage float64
+	// SelectedGain and SelectedCoverage score the Step-2 combination alone
+	// (the "without packing" row of Table 3).
+	SelectedGain     float64
+	SelectedCoverage float64
+	// SelectedWidth is the Step-2 combination's width in bits.
+	SelectedWidth int
+	// Candidates holds every Step-1 candidate when Config.KeepCandidates
+	// is set.
+	Candidates []Candidate
+}
+
+// TracedNames returns the names of all observable messages: the selected
+// combination plus the parent messages of packed subgroups (observing a
+// subgroup reveals the parent message's occurrences).
+func (r *Result) TracedNames() []string {
+	seen := make(map[string]bool, len(r.Selected)+len(r.Packed))
+	var out []string
+	for _, n := range r.Selected {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, g := range r.Packed {
+		if !seen[g.Message] {
+			seen[g.Message] = true
+			out = append(out, g.Message)
+		}
+	}
+	return out
+}
+
+const defaultMaxCandidates = 1 << 22
+
+// Select runs the full three-step selection pipeline on the evaluator's
+// interleaved flow.
+func Select(e *Evaluator, cfg Config) (*Result, error) {
+	if cfg.BufferWidth < 1 {
+		return nil, fmt.Errorf("core: non-positive trace buffer width %d", cfg.BufferWidth)
+	}
+	if cfg.MaxCandidates == 0 {
+		cfg.MaxCandidates = defaultMaxCandidates
+	}
+
+	var best Candidate
+	var all []Candidate
+	var err error
+	switch cfg.Method {
+	case Exhaustive:
+		best, all, err = selectExhaustive(e, cfg)
+	case Knapsack:
+		best, err = selectKnapsack(e, cfg.BufferWidth)
+	case Greedy:
+		best, err = selectGreedy(e, cfg.BufferWidth)
+	case MaxCoverage:
+		best, err = selectMaxCoverage(e, cfg.BufferWidth)
+	default:
+		err = fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Selected:         best.Messages,
+		Width:            best.Width,
+		SelectedWidth:    best.Width,
+		Gain:             best.Gain,
+		SelectedGain:     best.Gain,
+		Coverage:         best.Coverage,
+		SelectedCoverage: best.Coverage,
+		Candidates:       all,
+	}
+	if !cfg.DisablePacking {
+		pack(e, cfg.BufferWidth, res)
+	}
+	res.Utilization = float64(res.Width) / float64(cfg.BufferWidth)
+	// Rescore gain and coverage over the full traced set (selected messages
+	// plus packed parents).
+	traced := res.TracedNames()
+	if res.Gain, err = e.Gain(traced); err != nil {
+		return nil, err
+	}
+	if res.Coverage, err = e.Coverage(traced); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// better reports whether candidate a should replace b: strictly higher
+// gain, or equal gain with strictly higher coverage. Equal-score
+// candidates keep the incumbent, so enumeration order (message declaration
+// order) breaks ties deterministically — this reproduces the paper's
+// choice of {ReqE, GntE} among the three gain-tied pairs of the toy
+// example.
+func better(a, b Candidate) bool {
+	const eps = 1e-12
+	if a.Gain > b.Gain+eps {
+		return true
+	}
+	if a.Gain < b.Gain-eps {
+		return false
+	}
+	return a.Coverage > b.Coverage+eps
+}
+
+// selectExhaustive is Steps 1-2 as written in the paper: enumerate every
+// message combination with total width within the buffer, score each, keep
+// the best.
+func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) {
+	n := len(e.universe)
+	if n >= 63 {
+		return Candidate{}, nil, fmt.Errorf("core: %d messages is too many for exhaustive enumeration; use Knapsack", n)
+	}
+	if total := uint64(1) << n; total > uint64(cfg.MaxCandidates) {
+		return Candidate{}, nil, fmt.Errorf("core: 2^%d combinations exceed MaxCandidates=%d; use Knapsack", n, cfg.MaxCandidates)
+	}
+	var (
+		best  Candidate
+		found bool
+		all   []Candidate
+	)
+	vis := make(map[int]bool)
+	for mask := uint64(1); mask < uint64(1)<<n; mask++ {
+		width := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				width += e.universe[i].TraceWidth()
+			}
+		}
+		if width > cfg.BufferWidth {
+			continue
+		}
+		gain := 0.0
+		clear(vis)
+		var names []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				gain += e.gainOf[i]
+				for _, x := range e.visibleOf[i] {
+					vis[x] = true
+				}
+				names = append(names, e.universe[i].Name)
+			}
+		}
+		c := Candidate{
+			Messages: names,
+			Width:    width,
+			Gain:     gain,
+			Coverage: float64(len(vis)) / float64(e.p.NumStates()),
+		}
+		if cfg.KeepCandidates {
+			all = append(all, c)
+		}
+		if !found || better(c, best) {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return Candidate{}, nil, fmt.Errorf("core: no message fits in a %d-bit trace buffer", cfg.BufferWidth)
+	}
+	return best, all, nil
+}
+
+// selectKnapsack solves Step 2 exactly: because gain is additive across
+// messages, the max-gain feasible combination is a 0/1 knapsack with
+// value = gain and weight = width. O(n × BufferWidth) time.
+func selectKnapsack(e *Evaluator, budget int) (Candidate, error) {
+	n := len(e.universe)
+	// dp[w] = best gain using width exactly ≤ w; choice tracks taken items.
+	dp := make([]float64, budget+1)
+	take := make([][]bool, n)
+	feasible := false
+	for i := 0; i < n; i++ {
+		take[i] = make([]bool, budget+1)
+		w := e.universe[i].TraceWidth()
+		if w <= budget {
+			feasible = true
+		}
+		g := e.gainOf[i]
+		for c := budget; c >= w; c-- {
+			if cand := dp[c-w] + g; cand > dp[c]+1e-15 {
+				dp[c] = cand
+				take[i][c] = true
+			}
+		}
+	}
+	if !feasible {
+		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
+	}
+	// Recover the chosen set.
+	chosen := make([]bool, n)
+	c := budget
+	for i := n - 1; i >= 0; i-- {
+		if take[i][c] {
+			chosen[i] = true
+			c -= e.universe[i].TraceWidth()
+		}
+	}
+	return e.candidateFromSet(chosen), nil
+}
+
+// selectGreedy adds messages by decreasing gain density (gain/width),
+// skipping messages that no longer fit. Ties by universe order.
+func selectGreedy(e *Evaluator, budget int) (Candidate, error) {
+	n := len(e.universe)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := e.gainOf[order[a]] / float64(e.universe[order[a]].TraceWidth())
+		db := e.gainOf[order[b]] / float64(e.universe[order[b]].TraceWidth())
+		return da > db
+	})
+	chosen := make([]bool, n)
+	left := budget
+	any := false
+	for _, i := range order {
+		if w := e.universe[i].TraceWidth(); w <= left {
+			chosen[i] = true
+			left -= w
+			any = true
+		}
+	}
+	if !any {
+		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
+	}
+	return e.candidateFromSet(chosen), nil
+}
+
+// selectMaxCoverage greedily maximizes flow-spec coverage: each round adds
+// the feasible message with the most uncovered visible states (ties by
+// cheaper width, then universe order). Classic budgeted max-coverage
+// greedy — a (1-1/e)-approximation since coverage is submodular.
+func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
+	n := len(e.universe)
+	chosen := make([]bool, n)
+	covered := make(map[int]bool)
+	left := budget
+	any := false
+	for {
+		bestAt, bestNew, bestWidth := -1, -1, 0
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			w := e.universe[i].TraceWidth()
+			if w > left {
+				continue
+			}
+			fresh := 0
+			for _, x := range e.visibleOf[i] {
+				if !covered[x] {
+					fresh++
+				}
+			}
+			if fresh > bestNew || (fresh == bestNew && w < bestWidth) {
+				bestAt, bestNew, bestWidth = i, fresh, w
+			}
+		}
+		if bestAt < 0 {
+			break
+		}
+		chosen[bestAt] = true
+		left -= bestWidth
+		any = true
+		for _, x := range e.visibleOf[bestAt] {
+			covered[x] = true
+		}
+	}
+	if !any {
+		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
+	}
+	return e.candidateFromSet(chosen), nil
+}
+
+func (e *Evaluator) candidateFromSet(chosen []bool) Candidate {
+	var c Candidate
+	vis := make(map[int]bool)
+	for i, on := range chosen {
+		if !on {
+			continue
+		}
+		c.Messages = append(c.Messages, e.universe[i].Name)
+		c.Width += e.universe[i].TraceWidth()
+		c.Gain += e.gainOf[i]
+		for _, x := range e.visibleOf[i] {
+			vis[x] = true
+		}
+	}
+	c.Coverage = float64(len(vis)) / float64(e.p.NumStates())
+	return c
+}
+
+// pack is Step 3: fill the leftover buffer with subgroups of messages not
+// already selected, preferring the group whose parent message adds the
+// most gain, then (ties) the widest group so the buffer fills fastest.
+// Groups whose parent is already observable add no gain but still improve
+// utilization; they are packed last.
+func pack(e *Evaluator, budget int, res *Result) {
+	observable := make(map[string]bool, len(res.Selected))
+	for _, n := range res.Selected {
+		observable[n] = true
+	}
+	type granule struct {
+		msgIdx int
+		g      PackedGroup
+	}
+	var granules []granule
+	for i, m := range e.universe {
+		if observable[m.Name] {
+			continue
+		}
+		for _, g := range m.Groups {
+			granules = append(granules, granule{
+				msgIdx: i,
+				g:      PackedGroup{Message: m.Name, Group: g.Name, Width: g.Width},
+			})
+		}
+	}
+	left := budget - res.Width
+	for left > 0 && len(granules) > 0 {
+		bestAt := -1
+		bestGain, bestWidth := 0.0, 0
+		for k, gr := range granules {
+			if gr.g.Width > left {
+				continue
+			}
+			marginal := 0.0
+			if !observable[gr.g.Message] {
+				marginal = e.gainOf[gr.msgIdx]
+			}
+			if bestAt < 0 || marginal > bestGain+1e-15 ||
+				(marginal > bestGain-1e-15 && gr.g.Width > bestWidth) {
+				bestAt, bestGain, bestWidth = k, marginal, gr.g.Width
+			}
+		}
+		if bestAt < 0 {
+			break // nothing fits
+		}
+		chosen := granules[bestAt]
+		granules = append(granules[:bestAt], granules[bestAt+1:]...)
+		res.Packed = append(res.Packed, chosen.g)
+		res.Width += chosen.g.Width
+		left -= chosen.g.Width
+		observable[chosen.g.Message] = true
+	}
+}

@@ -1,0 +1,307 @@
+package debugger
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tracescale/internal/flow"
+)
+
+// Pred is a predicate over a message's observed Status, used in root-cause
+// signatures.
+type Pred int
+
+const (
+	// AnyStatus matches everything (the cause says nothing about this
+	// message).
+	AnyStatus Pred = iota
+	// IsMissing matches only Missing.
+	IsMissing
+	// IsAbsent matches Missing or Reduced.
+	IsAbsent
+	// IsNormal matches Normal.
+	IsNormal
+	// IsCorrupt matches Corrupt.
+	IsCorrupt
+	// IsReduced matches only Reduced (some but not all occurrences
+	// arrived — the footprint of a bug that arms partway through a run).
+	IsReduced
+	// IsPresent matches anything that appeared: Normal, Corrupt, Extra, or
+	// Reduced (some occurrences arrived).
+	IsPresent
+)
+
+// Matches reports whether the status satisfies the predicate.
+func (p Pred) Matches(s Status) bool {
+	switch p {
+	case AnyStatus:
+		return true
+	case IsMissing:
+		return s == Missing
+	case IsAbsent:
+		return s == Missing || s == Reduced
+	case IsNormal:
+		return s == Normal
+	case IsCorrupt:
+		return s == Corrupt
+	case IsReduced:
+		return s == Reduced
+	case IsPresent:
+		return s != Missing
+	default:
+		return false
+	}
+}
+
+// Cause is one potential architecture-level root cause of a usage-scenario
+// failure (Table 7's rows). Signature is the observable footprint the
+// cause would leave on the traced messages of the failing instance;
+// GlobalSignature constrains the whole run (e.g. "acks stop arriving after
+// a while" is Reduced globally, Missing for the failing instance).
+// Investigating a message whose observed status contradicts either
+// signature eliminates the cause.
+type Cause struct {
+	ID              int
+	IP              string
+	Function        string // architecture-level function, e.g. "Mondo generation in DMU"
+	Implication     string // expected failure implication
+	Signature       map[string]Pred
+	GlobalSignature map[string]Pred
+}
+
+// Step records one investigated traced message and its effect.
+type Step struct {
+	Msg        string
+	Global     Status
+	Focused    Status
+	Src, Dst   string
+	Eliminated []int // cause IDs eliminated by this step
+	Exonerated bool  // the message behaved normally, clearing its IP pair
+}
+
+// Report is the outcome of a debugging session.
+type Report struct {
+	// Steps lists investigations in order.
+	Steps []Step
+	// Plausible is the surviving cause set.
+	Plausible []Cause
+	// TotalCauses is the size of the initial candidate set.
+	TotalCauses int
+	// PrunedFraction = eliminated causes / TotalCauses (Figure 7).
+	PrunedFraction float64
+	// LegalPairs is the number of distinct (src, dst) IP pairs with
+	// scenario traffic; CandidatePairs the number still suspect after
+	// debugging; PairsInvestigated the distinct pairs of investigated
+	// messages (Table 6).
+	LegalPairs        int
+	CandidatePairs    int
+	PairsInvestigated int
+	// EntriesInvestigated totals the trace-buffer occurrences behind the
+	// investigated messages (Table 6's "messages investigated").
+	EntriesInvestigated int
+	// CauseCurve[i] is the number of plausible causes remaining after
+	// step i; PairCurve likewise for candidate IP pairs (Figure 6).
+	CauseCurve []int
+	PairCurve  []int
+}
+
+// RootCausedFunctions renders the surviving causes' functions, the
+// "root caused architecture level function" column of Table 6.
+func (r *Report) RootCausedFunctions() []string {
+	out := make([]string, len(r.Plausible))
+	for i, c := range r.Plausible {
+		out[i] = c.Function
+	}
+	return out
+}
+
+// Config parameterizes a debugging session.
+type Config struct {
+	// Universe is the scenario's message catalog (for IP pairs and flow
+	// guidance).
+	Universe []flow.Message
+	// Flows are the participating flows, used to guide the investigation
+	// order from the symptom outwards.
+	Flows []*flow.Flow
+	// Traced is the set of observable message names.
+	Traced []string
+	// Causes is the scenario's potential-root-cause catalog.
+	Causes []Cause
+	// Seed drives the pseudo-random choice among equally attractive next
+	// messages (§5.6: "the choice of which traced message to investigate
+	// is pseudo-random and guided by the participating flows").
+	Seed int64
+}
+
+// Debug runs a debugging session over an observation, reproducing the
+// paper's procedure: start with the traced message in which the bug
+// symptom is observed and backtrack through flow-adjacent traced messages;
+// each investigation eliminates contradicted causes and exonerates
+// well-behaved IP pairs.
+func Debug(obs Observation, cfg Config) (*Report, error) {
+	if len(cfg.Traced) == 0 {
+		return nil, fmt.Errorf("debugger: no traced messages")
+	}
+	if len(cfg.Causes) == 0 {
+		return nil, fmt.Errorf("debugger: no candidate causes")
+	}
+	byName := make(map[string]flow.Message, len(cfg.Universe))
+	for _, m := range cfg.Universe {
+		byName[m.Name] = m
+	}
+	tracedSet := make(map[string]bool, len(cfg.Traced))
+	for _, n := range cfg.Traced {
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("debugger: traced message %q not in universe", n)
+		}
+		if _, ok := obs.Global[n]; !ok {
+			return nil, fmt.Errorf("debugger: traced message %q missing from observation", n)
+		}
+		tracedSet[n] = true
+	}
+
+	// Legal IP pairs: every ordered (src, dst) with scenario traffic.
+	type pair struct{ src, dst string }
+	legal := make(map[pair]bool)
+	for _, m := range cfg.Universe {
+		legal[pair{m.Src, m.Dst}] = true
+	}
+	candidates := make(map[pair]bool, len(legal))
+	for p := range legal {
+		candidates[p] = true
+	}
+
+	// Flow adjacency between message names: two messages are neighbors if
+	// some flow has transitions carrying them on adjacent edges (sharing a
+	// state). The investigation frontier expands along this graph.
+	adj := make(map[string]map[string]bool)
+	link := func(a, b string) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = make(map[string]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[string]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for _, f := range cfg.Flows {
+		for _, e1 := range f.Edges() {
+			for _, e2 := range f.Edges() {
+				if e1.To == e2.From {
+					link(f.Message(e1.Msg).Name, f.Message(e2.Msg).Name)
+				}
+			}
+		}
+	}
+
+	// Alive causes.
+	alive := make(map[int]*Cause, len(cfg.Causes))
+	order := make([]int, 0, len(cfg.Causes))
+	for i := range cfg.Causes {
+		c := &cfg.Causes[i]
+		if _, dup := alive[c.ID]; dup {
+			return nil, fmt.Errorf("debugger: duplicate cause id %d", c.ID)
+		}
+		alive[c.ID] = c
+		order = append(order, c.ID)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{TotalCauses: len(cfg.Causes), LegalPairs: len(legal)}
+
+	// Investigation order: symptom message first, then flow-adjacent
+	// traced messages, then anything left, pseudo-randomly among peers.
+	investigated := make(map[string]bool)
+	frontier := make(map[string]bool)
+	if len(obs.Symptoms) > 0 && tracedSet[obs.Symptoms[0].Msg.Name] {
+		frontier[obs.Symptoms[0].Msg.Name] = true
+	}
+	pickFrom := func(set map[string]bool) string {
+		var names []string
+		for n := range set {
+			if !investigated[n] {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			return ""
+		}
+		sort.Strings(names)
+		return names[rng.Intn(len(names))]
+	}
+	// A pair is exonerated only once every traced message crossing it has
+	// been investigated and found Normal; one abnormal message keeps the
+	// pair suspect forever.
+	tracedOnPair := make(map[pair]int)
+	for n := range tracedSet {
+		m := byName[n]
+		tracedOnPair[pair{m.Src, m.Dst}]++
+	}
+	normalOnPair := make(map[pair]int)
+	taintedPair := make(map[pair]bool)
+	pairsSeen := make(map[pair]bool)
+	for len(investigated) < len(tracedSet) {
+		next := pickFrom(frontier)
+		if next == "" {
+			next = pickFrom(tracedSet)
+		}
+		investigated[next] = true
+		delete(frontier, next)
+		for n := range adj[next] {
+			if tracedSet[n] && !investigated[n] {
+				frontier[n] = true
+			}
+		}
+
+		m := byName[next]
+		global, focused := obs.Global[next], obs.Focused[next]
+		step := Step{Msg: next, Global: global, Focused: focused, Src: m.Src, Dst: m.Dst}
+		for _, id := range order {
+			c, ok := alive[id]
+			if !ok {
+				continue
+			}
+			contradicted := false
+			if p, has := c.Signature[next]; has && !p.Matches(focused) {
+				contradicted = true
+			}
+			if p, has := c.GlobalSignature[next]; has && !p.Matches(global) {
+				contradicted = true
+			}
+			if contradicted {
+				step.Eliminated = append(step.Eliminated, id)
+				delete(alive, id)
+			}
+		}
+		pr := pair{m.Src, m.Dst}
+		pairsSeen[pr] = true
+		if global == Normal {
+			normalOnPair[pr]++
+		} else {
+			taintedPair[pr] = true
+		}
+		if !taintedPair[pr] && normalOnPair[pr] == tracedOnPair[pr] && candidates[pr] {
+			step.Exonerated = true
+			delete(candidates, pr)
+		}
+		rep.EntriesInvestigated += obs.Entries[next]
+		rep.Steps = append(rep.Steps, step)
+		rep.CauseCurve = append(rep.CauseCurve, len(alive))
+		rep.PairCurve = append(rep.PairCurve, len(candidates))
+	}
+
+	for _, id := range order {
+		if c, ok := alive[id]; ok {
+			rep.Plausible = append(rep.Plausible, *c)
+		}
+	}
+	rep.PrunedFraction = float64(rep.TotalCauses-len(rep.Plausible)) / float64(rep.TotalCauses)
+	rep.CandidatePairs = len(candidates)
+	rep.PairsInvestigated = len(pairsSeen)
+	return rep, nil
+}

@@ -1,0 +1,91 @@
+package debugger
+
+import "tracescale/internal/tbuf"
+
+// ObserveEntries builds an Observation from trace-buffer contents alone —
+// the genuinely post-silicon path, where the validator has a reference
+// (golden) trace file and the failing run's trace file, but no event
+// stream. Comparison is occurrence-exact per indexed message, like
+// Observe. focusIndex is the failing instance's tag (-1 for none; the
+// focused view then reads empty-normal).
+//
+// Payload comparison uses the captured bits only: a packed subgroup can
+// flag corruption only if the corruption hits the captured window, which
+// is exactly the observability a real packed buffer has.
+func ObserveEntries(golden, buggy []tbuf.Entry, traced map[string]bool, focusIndex int) Observation {
+	obs := Observation{
+		Global:     make(map[string]Status, len(traced)),
+		Focused:    make(map[string]Status, len(traced)),
+		FocusIndex: focusIndex,
+		Entries:    make(map[string]int, len(traced)),
+	}
+	type counts struct {
+		golden, buggy               int
+		goldenFocused, buggyFocused int
+		corrupt, corruptFocused     bool
+	}
+	byName := make(map[string]*counts, len(traced))
+	for name := range traced {
+		byName[name] = &counts{}
+	}
+
+	// Occurrence numbering is positional per indexed message: the k-th
+	// buffer entry of i:msg in the buggy trace is compared against the
+	// k-th in the golden trace.
+	goldData := make(map[occKey]uint64)
+	goldSeq := make(map[string]int)
+	for _, e := range golden {
+		c, ok := byName[e.Msg.Name]
+		if !ok {
+			continue
+		}
+		c.golden++
+		if e.Msg.Index == focusIndex {
+			c.goldenFocused++
+		}
+		k := e.Msg.String()
+		goldData[occKey{e.Msg.Name, e.Msg.Index, goldSeq[k]}] = e.Data
+		goldSeq[k]++
+	}
+	buggySeq := make(map[string]int)
+	for _, e := range buggy {
+		c, ok := byName[e.Msg.Name]
+		if !ok {
+			continue
+		}
+		c.buggy++
+		focused := e.Msg.Index == focusIndex
+		if focused {
+			c.buggyFocused++
+		}
+		k := e.Msg.String()
+		if want, ok := goldData[occKey{e.Msg.Name, e.Msg.Index, buggySeq[k]}]; ok && want != e.Data {
+			c.corrupt = true
+			if focused {
+				c.corruptFocused = true
+			}
+		}
+		buggySeq[k]++
+	}
+
+	classify := func(corrupt bool, buggy, golden int) Status {
+		switch {
+		case corrupt:
+			return Corrupt
+		case buggy == 0 && golden > 0:
+			return Missing
+		case buggy < golden:
+			return Reduced
+		case buggy > golden:
+			return Extra
+		default:
+			return Normal
+		}
+	}
+	for name, c := range byName {
+		obs.Entries[name] = c.buggy
+		obs.Global[name] = classify(c.corrupt, c.buggy, c.golden)
+		obs.Focused[name] = classify(c.corruptFocused, c.buggyFocused, c.goldenFocused)
+	}
+	return obs
+}

@@ -1,0 +1,102 @@
+package debugger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Narrate renders a debugging session as prose in the style of the
+// paper's §5.7 walkthrough ("Absence of trace messages mondoacknack and
+// reqtot implies NCU did not service any Mondo interrupt request...").
+// One paragraph per investigation step plus a closing verdict.
+func Narrate(obs Observation, rep *Report) []string {
+	var out []string
+
+	// Opening: the symptom.
+	if len(obs.Symptoms) > 0 {
+		s := obs.Symptoms[0]
+		out = append(out, fmt.Sprintf(
+			"The run failed: %s. Debugging starts from the trace buffer, focused on tag %d.",
+			s, s.Index))
+	} else {
+		out = append(out, "No failure symptom was reported; auditing the traced messages anyway.")
+	}
+
+	for _, step := range rep.Steps {
+		sentence := describeStatus(step)
+		switch {
+		case len(step.Eliminated) > 0:
+			causes := make([]string, len(step.Eliminated))
+			for i, id := range step.Eliminated {
+				causes[i] = fmt.Sprint(id)
+			}
+			sentence += fmt.Sprintf(" This rules out cause(s) %s, leaving %d candidate(s).",
+				strings.Join(causes, ", "), causeCount(rep, step))
+		case step.Exonerated:
+			sentence += fmt.Sprintf(" Traffic on %s->%s is healthy; that interface is exonerated.",
+				step.Src, step.Dst)
+		default:
+			sentence += " This is consistent with the remaining causes; nothing can be ruled out yet."
+		}
+		out = append(out, sentence)
+	}
+
+	// Closing verdict.
+	switch len(rep.Plausible) {
+	case 0:
+		out = append(out, "Every candidate cause was eliminated — the failure lies outside the modeled cause set.")
+	case 1:
+		c := rep.Plausible[0]
+		out = append(out, fmt.Sprintf(
+			"All causes except one are ruled out (%s pruned): the root cause is %q in %s — %s.",
+			FormatFraction(rep.PrunedFraction), c.Function, c.IP, c.Implication))
+	default:
+		funcs := make([]string, len(rep.Plausible))
+		for i, c := range rep.Plausible {
+			funcs[i] = fmt.Sprintf("%q in %s", c.Function, c.IP)
+		}
+		out = append(out, fmt.Sprintf(
+			"The traced messages cannot separate %d remaining causes (%s pruned): %s.",
+			len(rep.Plausible), FormatFraction(rep.PrunedFraction), strings.Join(funcs, " / ")))
+	}
+	return out
+}
+
+func describeStatus(step Step) string {
+	name := step.Msg
+	switch step.Focused {
+	case Missing:
+		if step.Global == Missing {
+			return fmt.Sprintf("Message %s never appears anywhere in the trace.", name)
+		}
+		return fmt.Sprintf("Message %s is absent for the failing tag although other tags carry it.", name)
+	case Reduced:
+		return fmt.Sprintf("Fewer %s messages than the reference run recorded.", name)
+	case Corrupt:
+		return fmt.Sprintf("Message %s arrives, but its payload differs from the bug-free design.", name)
+	case Extra:
+		return fmt.Sprintf("Message %s appears more often than the reference run (a retry storm or livelock).", name)
+	default:
+		if step.Global != Normal {
+			return fmt.Sprintf("Message %s is clean for the failing tag but %s elsewhere in the run.", name, step.Global)
+		}
+		return fmt.Sprintf("Message %s matches the reference run exactly.", name)
+	}
+}
+
+func causeCount(rep *Report, step Step) int {
+	for i := range rep.Steps {
+		if rep.Steps[i].Msg == step.Msg {
+			return rep.CauseCurve[i]
+		}
+	}
+	return -1
+}
+
+// FormatFraction renders a fraction as a percentage with two decimals,
+// trimming trailing zeros (88.89%, 75%).
+func FormatFraction(f float64) string {
+	s := fmt.Sprintf("%.2f", f*100)
+	s = strings.TrimRight(strings.TrimRight(s, "0"), ".")
+	return s + "%"
+}

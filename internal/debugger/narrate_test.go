@@ -1,0 +1,110 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/inject"
+)
+
+func TestNarrateDropBug(t *testing.T) {
+	fa, fb, universe := testFlows(t)
+	golden, buggy := runPair(t, fa, fb, inject.Bug{ID: 1, IP: "Y", Kind: inject.Drop, Target: "a2"})
+	obs := Observe(golden, buggy, allTraced())
+	rep, err := Debug(obs, Config{
+		Universe: universe,
+		Flows:    []*flow.Flow{fa, fb},
+		Traced:   []string{"a1", "a2", "a3", "b1", "b2"},
+		Causes: []Cause{
+			{ID: 1, IP: "Y", Function: "a2 forwarding broken", Implication: "A flow hangs",
+				Signature: map[string]Pred{"a1": IsPresent, "a2": IsMissing}},
+			{ID: 2, IP: "Z", Function: "a3 generation broken", Implication: "A flow hangs later",
+				Signature: map[string]Pred{"a2": IsPresent, "a3": IsMissing}},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Narrate(obs, rep)
+	if len(lines) != 2+len(rep.Steps) {
+		t.Fatalf("narrative has %d lines, want %d", len(lines), 2+len(rep.Steps))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"The run failed",
+		"never appears anywhere in the trace",
+		"rules out cause(s) 2",
+		"the root cause is \"a2 forwarding broken\" in Y",
+		"50% pruned",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("narrative missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestNarrateMultiplePlausible(t *testing.T) {
+	fa, fb, universe := testFlows(t)
+	golden, buggy := runPair(t, fa, fb, inject.Bug{ID: 2, Kind: inject.Corrupt, Target: "b1", XorMask: 3})
+	obs := Observe(golden, buggy, allTraced())
+	rep, err := Debug(obs, Config{
+		Universe: universe,
+		Flows:    []*flow.Flow{fa, fb},
+		Traced:   []string{"a1", "a2", "a3", "b1", "b2"},
+		Causes: []Cause{
+			{ID: 1, IP: "X", Function: "b1 producer broken", Signature: map[string]Pred{"b1": IsCorrupt}},
+			{ID: 2, IP: "Z", Function: "b1 consumer decode broken", Signature: map[string]Pred{"b1": IsCorrupt}},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Narrate(obs, rep)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "cannot separate 2 remaining causes") {
+		t.Errorf("narrative missing dual attribution:\n%s", joined)
+	}
+	if !strings.Contains(joined, "payload differs from the bug-free design") {
+		t.Errorf("narrative missing corruption description:\n%s", joined)
+	}
+}
+
+func TestNarrateCleanObservation(t *testing.T) {
+	fa, fb, universe := testFlows(t)
+	golden, _ := runPair(t, fa, fb)
+	obs := Observe(golden, golden, allTraced())
+	rep, err := Debug(obs, Config{
+		Universe: universe,
+		Flows:    []*flow.Flow{fa, fb},
+		Traced:   []string{"a1"},
+		Causes:   []Cause{{ID: 1, Function: "phantom", Signature: map[string]Pred{"a1": IsMissing}}},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Narrate(obs, rep)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "No failure symptom") {
+		t.Errorf("narrative missing clean opener:\n%s", joined)
+	}
+	if !strings.Contains(joined, "Every candidate cause was eliminated") {
+		t.Errorf("narrative missing empty verdict:\n%s", joined)
+	}
+}
+
+func TestFormatFraction(t *testing.T) {
+	cases := map[float64]string{
+		0.8889: "88.89%",
+		0.75:   "75%",
+		1.0:    "100%",
+	}
+	for in, want := range cases {
+		if got := FormatFraction(in); got != want {
+			t.Errorf("FormatFraction(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package debugger implements the post-silicon debugging methodology of
+// the paper's §5.2 and §5.6-5.7: from a failing run's trace-buffer content
+// it classifies each traced message against the golden reference, then
+// investigates traced messages one at a time — starting at the symptom and
+// guided by the participating flows — progressively eliminating candidate
+// IP pairs and candidate architecture-level root causes.
+package debugger
+
+import (
+	"sort"
+
+	"tracescale/internal/soc"
+)
+
+// Status classifies one traced message's behaviour in the buggy run
+// relative to the golden run.
+type Status int
+
+const (
+	// Normal: same occurrences, same payloads.
+	Normal Status = iota
+	// Missing: the message never appeared although the golden run has it.
+	Missing
+	// Reduced: fewer occurrences than the golden run.
+	Reduced
+	// Corrupt: an occurrence's payload differs from the golden run.
+	Corrupt
+	// Extra: more occurrences than the golden run (e.g. retry storms).
+	Extra
+)
+
+func (s Status) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Missing:
+		return "missing"
+	case Reduced:
+		return "reduced"
+	case Corrupt:
+		return "corrupt"
+	case Extra:
+		return "extra"
+	default:
+		return "unknown"
+	}
+}
+
+// Affected reports whether the status indicates the message was affected
+// by a bug (its value or presence in the buggy execution differs from the
+// bug-free design) — the paper's Table-5 notion.
+func (s Status) Affected() bool { return s != Normal }
+
+// Observation is everything the validator gets to see after a failing
+// run: per-message classifications of the traced set, both across the
+// whole run (Global) and restricted to the failing instance's tag
+// (Focused), plus the failure symptoms.
+type Observation struct {
+	// Global classifies each traced message over the entire run.
+	Global map[string]Status
+	// Focused classifies each traced message restricted to events whose
+	// index equals the failing instance's (tagging makes this possible in
+	// real designs; Definition 3 makes it explicit).
+	Focused map[string]Status
+	// FocusIndex is the failing instance's tag (-1 when no symptom).
+	FocusIndex int
+	// Symptoms are the failures the run reported, in cycle order.
+	Symptoms []soc.Symptom
+	// Entries counts the buggy run's delivered occurrences per traced
+	// message name — the trace-file volume behind each investigation.
+	Entries map[string]int
+}
+
+type occKey struct {
+	name       string
+	index      int
+	occurrence int
+}
+
+// Observe diffs a buggy run against the golden run over the traced message
+// set. Only delivered events are visible (the monitor cannot see dropped
+// messages). Payload comparison is occurrence-exact: the data generator is
+// a pure function of (message, index, occurrence), so any difference is
+// bug-induced. The focused view is taken at the first symptom's index.
+func Observe(golden, buggy *soc.Result, traced map[string]bool) Observation {
+	obs := Observation{
+		Global:     make(map[string]Status, len(traced)),
+		Focused:    make(map[string]Status, len(traced)),
+		FocusIndex: -1,
+		Symptoms:   buggy.Symptoms,
+		Entries:    make(map[string]int, len(traced)),
+	}
+	if len(buggy.Symptoms) > 0 {
+		obs.FocusIndex = buggy.Symptoms[0].Index
+	}
+
+	type counts struct {
+		golden, buggy               int
+		goldenFocused, buggyFocused int
+		corrupt, corruptFocused     bool
+	}
+	byName := make(map[string]*counts, len(traced))
+	for name := range traced {
+		byName[name] = &counts{}
+	}
+	goldData := make(map[occKey]uint64)
+	for _, ev := range golden.Delivered() {
+		c, ok := byName[ev.Msg.Name]
+		if !ok {
+			continue
+		}
+		c.golden++
+		if ev.Msg.Index == obs.FocusIndex {
+			c.goldenFocused++
+		}
+		goldData[occKey{ev.Msg.Name, ev.Msg.Index, ev.Occurrence}] = ev.Data
+	}
+	for _, ev := range buggy.Delivered() {
+		c, ok := byName[ev.Msg.Name]
+		if !ok {
+			continue
+		}
+		c.buggy++
+		focused := ev.Msg.Index == obs.FocusIndex
+		if focused {
+			c.buggyFocused++
+		}
+		if want, ok := goldData[occKey{ev.Msg.Name, ev.Msg.Index, ev.Occurrence}]; ok && want != ev.Data {
+			c.corrupt = true
+			if focused {
+				c.corruptFocused = true
+			}
+		}
+	}
+	classify := func(corrupt bool, buggy, golden int) Status {
+		switch {
+		case corrupt:
+			return Corrupt
+		case buggy == 0 && golden > 0:
+			return Missing
+		case buggy < golden:
+			return Reduced
+		case buggy > golden:
+			return Extra
+		default:
+			return Normal
+		}
+	}
+	for name, c := range byName {
+		obs.Entries[name] = c.buggy
+		obs.Global[name] = classify(c.corrupt, c.buggy, c.golden)
+		obs.Focused[name] = classify(c.corruptFocused, c.buggyFocused, c.goldenFocused)
+	}
+	return obs
+}
+
+// AffectedMessages returns the traced messages the bug affected anywhere
+// in the run, sorted by name — the rows of the paper's Table 5 for one
+// injected bug.
+func (o Observation) AffectedMessages() []string {
+	var out []string
+	for name, st := range o.Global {
+		if st.Affected() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

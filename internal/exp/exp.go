@@ -1,0 +1,172 @@
+// Package exp implements the paper's evaluation harness: one function per
+// table and figure of the DAC'18 evaluation (§4-§5), producing structured
+// results that cmd/paperbench renders, benchmarks time, and tests check
+// for the paper's qualitative shapes. All experiments are deterministic
+// given a seed.
+package exp
+
+import (
+	"fmt"
+
+	"tracescale/internal/core"
+	"tracescale/internal/debugger"
+	"tracescale/internal/flow"
+	"tracescale/internal/inject"
+	"tracescale/internal/interleave"
+	"tracescale/internal/opensparc"
+	"tracescale/internal/soc"
+)
+
+// BufferWidth is the trace-buffer width assumed throughout the paper's
+// T2 experiments (Table 3).
+const BufferWidth = 32
+
+// InstancesPerFlow is the number of indexed instances of each
+// participating flow launched per case-study run.
+const InstancesPerFlow = 16
+
+// launchStride staggers instance start cycles so flows interleave.
+const launchStride = 24
+
+// Selection bundles the with-packing and without-packing selection results
+// for one usage scenario.
+type Selection struct {
+	Scenario  opensparc.Scenario
+	Evaluator *core.Evaluator
+	WP        *core.Result // full pipeline (Steps 1-3)
+	WoP       *core.Result // packing disabled
+}
+
+// SelectScenario runs the selection pipeline on a usage scenario's
+// interleaved flow with the paper's 32-bit buffer.
+func SelectScenario(s opensparc.Scenario) (*Selection, error) {
+	p, err := s.Interleaving()
+	if err != nil {
+		return nil, fmt.Errorf("exp: scenario %d interleaving: %w", s.ID, err)
+	}
+	e, err := core.NewEvaluator(p)
+	if err != nil {
+		return nil, fmt.Errorf("exp: scenario %d evaluator: %w", s.ID, err)
+	}
+	wp, err := core.Select(e, core.Config{BufferWidth: BufferWidth, KeepCandidates: true})
+	if err != nil {
+		return nil, fmt.Errorf("exp: scenario %d selection: %w", s.ID, err)
+	}
+	wop, err := core.Select(e, core.Config{BufferWidth: BufferWidth, DisablePacking: true})
+	if err != nil {
+		return nil, fmt.Errorf("exp: scenario %d selection (WoP): %w", s.ID, err)
+	}
+	return &Selection{Scenario: s, Evaluator: e, WP: wp, WoP: wop}, nil
+}
+
+// CaseRun is one executed case study: golden and buggy simulations, the
+// observation through the selected trace messages, and the debugging
+// report.
+type CaseRun struct {
+	Case      opensparc.CaseStudy
+	Selection *Selection
+	Golden    *soc.Result
+	Buggy     *soc.Result
+	Obs       debugger.Observation
+	Report    *debugger.Report
+	// LocWP and LocWoP are the path-localization fractions (consistent
+	// executions / total executions of the interleaved flow) using the
+	// with-packing and without-packing traced sets.
+	LocWP, LocWoP float64
+}
+
+// RunCase executes one case study end to end: simulate golden and buggy
+// designs on the scenario workload, observe through the selected messages,
+// debug, and localize.
+func RunCase(cs opensparc.CaseStudy, seed int64) (*CaseRun, error) {
+	sel, err := SelectScenario(cs.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	sc := soc.Scenario{
+		Name:     cs.Scenario.Name,
+		Launches: cs.Scenario.Launches(InstancesPerFlow, launchStride),
+	}
+	golden, err := soc.Run(sc, soc.Config{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("exp: case %d golden run: %w", cs.ID, err)
+	}
+	buggy, err := soc.Run(sc, soc.Config{Seed: seed, Injectors: inject.Injectors(cs.Bug())})
+	if err != nil {
+		return nil, fmt.Errorf("exp: case %d buggy run: %w", cs.ID, err)
+	}
+	if buggy.Passed() {
+		return nil, fmt.Errorf("exp: case %d bug %d did not manifest", cs.ID, cs.BugID)
+	}
+
+	tracedWP := nameSet(sel.WP.TracedNames())
+	obs := debugger.Observe(golden, buggy, tracedWP)
+	causes, err := opensparc.Causes(cs.Scenario.ID)
+	if err != nil {
+		return nil, err
+	}
+	report, err := debugger.Debug(obs, debugger.Config{
+		Universe: cs.Scenario.Universe(),
+		Flows:    cs.Scenario.Flows(),
+		Traced:   sel.WP.TracedNames(),
+		Causes:   causes,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: case %d debug: %w", cs.ID, err)
+	}
+
+	run := &CaseRun{
+		Case: cs, Selection: sel, Golden: golden, Buggy: buggy,
+		Obs: obs, Report: report,
+	}
+	p := sel.Evaluator.Product()
+	run.LocWP, err = localize(p, buggy, tracedWP)
+	if err != nil {
+		return nil, fmt.Errorf("exp: case %d localization (WP): %w", cs.ID, err)
+	}
+	run.LocWoP, err = localize(p, buggy, nameSet(sel.WoP.TracedNames()))
+	if err != nil {
+		return nil, fmt.Errorf("exp: case %d localization (WoP): %w", cs.ID, err)
+	}
+	return run, nil
+}
+
+// localize computes the fraction of interleaved-flow executions consistent
+// with the buggy run's traced observation of the index-1 instances. The
+// analysis product carries one instance (index 1) per flow, and the
+// simulator enforces the same atomic-mutex semantics, so the index-1
+// projection of the event stream is a legal (possibly truncated) execution
+// of the product.
+func localize(p *interleave.Product, buggy *soc.Result, traced map[string]bool) (float64, error) {
+	observed := ObservedTrace(buggy.Events, traced, 1)
+	return p.Localization(traced, observed, interleave.Prefix)
+}
+
+// ObservedTrace extracts, in emission order, the traced messages of the
+// given instance index from a run's delivered events — what the trace
+// buffer holds for that tag.
+func ObservedTrace(events []soc.Event, traced map[string]bool, index int) []flow.IndexedMsg {
+	var out []flow.IndexedMsg
+	for _, ev := range events {
+		if ev.Dropped || ev.Msg.Index != index || !traced[ev.Msg.Name] {
+			continue
+		}
+		out = append(out, ev.Msg)
+	}
+	return out
+}
+
+func nameSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// caseStudy and causeCatalog are tiny indirections so experiment files
+// avoid importing opensparc twice under different names.
+func caseStudy(id int) (opensparc.CaseStudy, error) { return opensparc.CaseStudyByID(id) }
+
+func causeCatalog(scenarioID int) ([]debugger.Cause, error) { return opensparc.Causes(scenarioID) }

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"math"
+	"sort"
+
+	"tracescale/internal/opensparc"
+)
+
+// Fig5Point is one message combination's scores.
+type Fig5Point struct {
+	Gain     float64
+	Coverage float64
+	Width    int
+}
+
+// Fig5Series is the correlation study for one usage scenario.
+type Fig5Series struct {
+	Scenario string
+	Points   []Fig5Point // sorted by increasing gain
+	// Pearson is the linear correlation between gain and coverage;
+	// Spearman the rank correlation. The paper's claim (Figure 5) is that
+	// coverage increases monotonically with gain, i.e. both close to 1.
+	Pearson  float64
+	Spearman float64
+}
+
+// Fig5 reproduces Figure 5: for every width-feasible message combination
+// of each usage scenario, mutual information gain against flow
+// specification coverage.
+func Fig5() ([]Fig5Series, error) {
+	var out []Fig5Series
+	for _, s := range opensparc.Scenarios() {
+		sel, err := SelectScenario(s)
+		if err != nil {
+			return nil, err
+		}
+		series := Fig5Series{Scenario: s.Name}
+		for _, c := range sel.WP.Candidates {
+			series.Points = append(series.Points, Fig5Point{Gain: c.Gain, Coverage: c.Coverage, Width: c.Width})
+		}
+		sort.Slice(series.Points, func(i, j int) bool { return series.Points[i].Gain < series.Points[j].Gain })
+		gains := make([]float64, len(series.Points))
+		covs := make([]float64, len(series.Points))
+		for i, p := range series.Points {
+			gains[i] = p.Gain
+			covs[i] = p.Coverage
+		}
+		series.Pearson = pearson(gains, covs)
+		series.Spearman = pearson(ranks(gains), ranks(covs))
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks assigns average ranks (ties share the mean rank).
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// Fig6Curves holds the progressive-elimination curves of one case study
+// (Figure 6): after each investigated traced message, how many candidate
+// legal IP pairs (a) and candidate root causes (b) remain.
+type Fig6Curves struct {
+	CaseStudy  int
+	Messages   []string // investigation order
+	PairCurve  []int
+	CauseCurve []int
+}
+
+// Fig6 reproduces Figure 6 for all five case studies.
+func Fig6(seed int64) ([]Fig6Curves, error) {
+	var out []Fig6Curves
+	for _, cs := range opensparc.CaseStudies() {
+		run, err := RunCase(cs, seed)
+		if err != nil {
+			return nil, err
+		}
+		c := Fig6Curves{
+			CaseStudy:  cs.ID,
+			PairCurve:  run.Report.PairCurve,
+			CauseCurve: run.Report.CauseCurve,
+		}
+		for _, st := range run.Report.Steps {
+			c.Messages = append(c.Messages, st.Msg)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Fig7Row is one case study's cause-pruning outcome (Figure 7).
+type Fig7Row struct {
+	CaseStudy int
+	Plausible int
+	Pruned    int
+	Fraction  float64 // pruned / total
+}
+
+// Fig7 reproduces Figure 7: plausible versus pruned potential root causes
+// per case study.
+func Fig7(seed int64) ([]Fig7Row, error) {
+	rows6, err := Table6(seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Row
+	for _, r := range rows6 {
+		out = append(out, Fig7Row{
+			CaseStudy: r.CaseStudy,
+			Plausible: r.PlausibleCauses,
+			Pruned:    r.TotalCauses - r.PlausibleCauses,
+			Fraction:  r.PrunedFraction,
+		})
+	}
+	return out, nil
+}

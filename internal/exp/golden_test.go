@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The full markdown evaluation report is pinned as a golden file: any
+// behavioral drift anywhere in the pipeline — selection, simulation,
+// debugging, localization — shows up as a diff here. Regenerate
+// deliberately with `go test ./internal/exp -run Golden -update`.
+func TestGoldenMarkdownReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderMarkdown(&buf, seed); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report.golden.md")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got := buf.Bytes()
+		line := 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				start := i - 40
+				if start < 0 {
+					start = 0
+				}
+				t.Fatalf("report drifted at line %d:\n got ...%q\nwant ...%q\n(re-run with -update if intentional)",
+					line, got[start:min(i+40, len(got))], want[start:min(i+40, len(want))])
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("report length changed: %d vs %d bytes (re-run with -update if intentional)", len(got), len(want))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The Render functions format experiment results for terminals;
+// cmd/paperbench is a thin flag wrapper around them.
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// RenderTable1 prints the usage-scenario table.
+func RenderTable1(w io.Writer) error {
+	rows, err := Table1()
+	if err != nil {
+		return err
+	}
+	header(w, "Table 1: usage scenarios and participating flows")
+	fmt.Fprintf(w, "%-12s %-42s %-22s %s\n", "Scenario", "Flows (states, messages)", "IPs", "Root causes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-42s %-22s %d\n", r.Scenario,
+			strings.Join(r.Flows, " "), strings.Join(r.IPs, ","), r.RootCauses)
+	}
+	return nil
+}
+
+// RenderTable2 prints the representative injected bugs.
+func RenderTable2(w io.Writer) {
+	header(w, "Table 2: representative injected bugs")
+	fmt.Fprintf(w, "%-4s %-6s %-9s %-5s %s\n", "Bug", "Depth", "Category", "IP", "Type")
+	for _, b := range Table2() {
+		fmt.Fprintf(w, "%-4d %-6d %-9s %-5s %s\n", b.ID, b.Depth, b.Category, b.IP, b.Description)
+	}
+}
+
+// RenderTable3 prints utilization/coverage/localization per case study.
+func RenderTable3(w io.Writer, seed int64) error {
+	rows, err := Table3(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Table 3: buffer utilization, FSP coverage, path localization (32-bit buffer)")
+	fmt.Fprintf(w, "%-5s %-11s %-18s %-18s %-18s\n", "Case", "Scenario", "Utilization WP/WoP", "FSP Cov WP/WoP", "Localization WP/WoP")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5d %-11s %8s /%8s %8s /%8s %8s /%8s\n",
+			r.CaseStudy, r.Scenario,
+			FormatPercent(r.UtilWP), FormatPercent(r.UtilWoP),
+			FormatPercent(r.CovWP), FormatPercent(r.CovWoP),
+			FormatPercent(r.LocWP), FormatPercent(r.LocWoP))
+	}
+	return nil
+}
+
+// RenderTable4 prints the USB baseline comparison.
+func RenderTable4(w io.Writer, seed int64) error {
+	res, err := Table4(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Table 4: signal selection on the USB design (SigSeT vs PRNet vs InfoGain)")
+	fmt.Fprintf(w, "%-15s %-17s %-7s %-6s %s\n", "Signal", "Module", "SigSeT", "PRNet", "InfoGain")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-15s %-17s %-7s %-6s %s\n", r.Signal, r.Module, r.SigSeT, r.PRNet, r.InfoGain)
+	}
+	fmt.Fprintf(w, "\ninterface-message reconstruction: SigSeT %s, PRNet %s (paper: <= 26%%)\n",
+		FormatPercent(res.SigSeTReconstruction), FormatPercent(res.PRNetReconstruction))
+	fmt.Fprintf(w, "flow-spec coverage: InfoGain %s, SigSeT %s, PRNet %s (paper: 93.65%% / 9%% / 23.80%%)\n",
+		FormatPercent(res.InfoGainCoverage), FormatPercent(res.SigSeTCoverage),
+		FormatPercent(res.PRNetCoverage))
+	return nil
+}
+
+// RenderTable5 prints per-message bug coverage, importance, and selection.
+func RenderTable5(w io.Writer, seed int64) error {
+	rows, err := Table5(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Table 5: message bug coverage, importance, and selection")
+	fmt.Fprintf(w, "%-5s %-14s %-18s %-9s %-11s %-9s %s\n",
+		"Msg", "Name", "Affecting bugs", "Coverage", "Importance", "Selected", "Scenarios")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-14s %-18s %-9.2f %-11s %-9s %s\n",
+			r.Msg, r.Name, intList(r.AffectingBugs), r.BugCoverage,
+			importanceString(r.Importance), yn(r.Selected), intList(r.Scenarios))
+	}
+	return nil
+}
+
+func intList(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func importanceString(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
+}
+
+// RenderTable6 prints the debugging statistics.
+func RenderTable6(w io.Writer, seed int64) error {
+	rows, err := Table6(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Table 6: diagnosed root causes and debugging statistics")
+	fmt.Fprintf(w, "%-5s %-6s %-11s %-14s %-10s %s\n",
+		"Case", "Flows", "Legal pairs", "Investigated", "Messages", "Root caused function")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5d %-6d %-11d %-14d %-10d %s\n",
+			r.CaseStudy, r.Flows, r.LegalPairs, r.PairsInvestigated,
+			r.MessagesInvestigated, strings.Join(r.RootCausedFunctions, " / "))
+	}
+	return nil
+}
+
+// RenderTable7 prints the potential-root-cause catalog for a case study.
+func RenderTable7(w io.Writer, caseID int) error {
+	selected, rows, err := Table7(caseID)
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Table 7: potential root causes for case study %d", caseID))
+	fmt.Fprintf(w, "selected messages: %s\n\n", strings.Join(selected, ", "))
+	for i, r := range rows {
+		fmt.Fprintf(w, "%d. %s\n   -> %s\n", i+1, r.Cause, r.Implication)
+	}
+	return nil
+}
+
+// RenderFig5 prints the gain/coverage correlation (decile summary).
+func RenderFig5(w io.Writer) error {
+	series, err := Fig5()
+	if err != nil {
+		return err
+	}
+	header(w, "Figure 5: mutual information gain vs flow-spec coverage")
+	for _, s := range series {
+		fmt.Fprintf(w, "\n%s: %d candidate combinations, Pearson %.3f, Spearman %.3f\n",
+			s.Scenario, len(s.Points), s.Pearson, s.Spearman)
+		for d := 0; d < 10; d++ {
+			i := (len(s.Points) - 1) * d / 9
+			p := s.Points[i]
+			fmt.Fprintf(w, "  gain %7.4f -> coverage %6.2f%% (width %2d)\n", p.Gain, 100*p.Coverage, p.Width)
+		}
+	}
+	return nil
+}
+
+// RenderFig6 prints the progressive-elimination curves.
+func RenderFig6(w io.Writer, seed int64) error {
+	curves, err := Fig6(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Figure 6: candidates eliminated per investigated traced message")
+	for _, c := range curves {
+		fmt.Fprintf(w, "\ncase study %d:\n", c.CaseStudy)
+		fmt.Fprintf(w, "  %-16s %-14s %s\n", "message", "IP pairs left", "causes left")
+		for i, m := range c.Messages {
+			fmt.Fprintf(w, "  %-16s %-14d %d\n", m, c.PairCurve[i], c.CauseCurve[i])
+		}
+	}
+	return nil
+}
+
+// RenderFig7 prints the pruning distribution.
+func RenderFig7(w io.Writer, seed int64) error {
+	rows, err := Fig7(seed)
+	if err != nil {
+		return err
+	}
+	header(w, "Figure 7: root-cause pruning per case study")
+	sum := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(w, "case %d: %d plausible, %d pruned (%s)\n",
+			r.CaseStudy, r.Plausible, r.Pruned, FormatPercent(r.Fraction))
+		sum += r.Fraction
+	}
+	fmt.Fprintf(w, "average pruned: %s (paper: 78.89%%, max 88.89%%)\n",
+		FormatPercent(sum/float64(len(rows))))
+	return nil
+}
+
+// RenderCSVFig5 emits Figure 5's points as CSV.
+func RenderCSVFig5(w io.Writer) error {
+	series, err := Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "scenario,gain,coverage,width")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%.6f,%.6f,%d\n", s.Scenario, p.Gain, p.Coverage, p.Width)
+		}
+	}
+	return nil
+}
+
+// RenderCSVFig6 emits Figure 6's curves as CSV.
+func RenderCSVFig6(w io.Writer, seed int64) error {
+	curves, err := Fig6(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "case,step,message,pairs_left,causes_left")
+	for _, c := range curves {
+		for i, m := range c.Messages {
+			fmt.Fprintf(w, "%d,%d,%s,%d,%d\n", c.CaseStudy, i+1, m, c.PairCurve[i], c.CauseCurve[i])
+		}
+	}
+	return nil
+}
+
+// RenderCSVFig7 emits Figure 7's rows as CSV.
+func RenderCSVFig7(w io.Writer, seed int64) error {
+	rows, err := Fig7(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "case,plausible,pruned,fraction")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%d,%d,%.6f\n", r.CaseStudy, r.Plausible, r.Pruned, r.Fraction)
+	}
+	return nil
+}

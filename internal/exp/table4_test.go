@@ -1,0 +1,61 @@
+package exp
+
+import "testing"
+
+// Table 4 / §5.4 qualitative claims: the application-level method selects
+// every interface signal; the gate-level baselines select few, reconstruct
+// no more than ~26% of the interface messages, and cover far less of the
+// flow specification.
+func TestTable4Shapes(t *testing.T) {
+	res, err := Table4(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	sigFull, prFull := 0, 0
+	for _, r := range res.Rows {
+		if r.InfoGain.String() != "✓" {
+			t.Errorf("InfoGain does not select %s", r.Signal)
+		}
+		if r.SigSeT.String() == "✓" {
+			sigFull++
+		}
+		if r.PRNet.String() == "✓" {
+			prFull++
+		}
+		if r.Module == "" {
+			t.Errorf("%s has no module", r.Signal)
+		}
+	}
+	if sigFull > 2 {
+		t.Errorf("SigSeT fully selects %d interface signals; should prefer internal state", sigFull)
+	}
+	if prFull == 0 || prFull > 6 {
+		t.Errorf("PRNet fully selects %d interface signals, want a few", prFull)
+	}
+	if len(res.InfoGainSelected) != 10 {
+		t.Errorf("InfoGain selected %d signals, want 10", len(res.InfoGainSelected))
+	}
+
+	// §5.4: SRR-style selection reconstructs no more than ~26% of the
+	// interface messages.
+	if res.SigSeTReconstruction > 0.30 {
+		t.Errorf("SigSeT reconstructs %.2f of interface state, want <= 0.30", res.SigSeTReconstruction)
+	}
+	if res.PRNetReconstruction > 0.40 {
+		t.Errorf("PRNet reconstructs %.2f of interface state", res.PRNetReconstruction)
+	}
+
+	// Coverage ordering: ours >> PRNet > SigSeT.
+	if res.InfoGainCoverage < 0.9 {
+		t.Errorf("InfoGain coverage = %.4f", res.InfoGainCoverage)
+	}
+	if res.SigSeTCoverage >= res.PRNetCoverage {
+		t.Errorf("SigSeT coverage %.4f >= PRNet coverage %.4f", res.SigSeTCoverage, res.PRNetCoverage)
+	}
+	if res.PRNetCoverage >= res.InfoGainCoverage {
+		t.Errorf("PRNet coverage %.4f >= InfoGain coverage %.4f", res.PRNetCoverage, res.InfoGainCoverage)
+	}
+}

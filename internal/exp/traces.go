@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"tracescale/internal/debugger"
+	"tracescale/internal/opensparc"
+	"tracescale/internal/soc"
+	"tracescale/internal/tbuf"
+)
+
+// CapturePlan compiles a selection result into a trace-buffer capture
+// plan: full capture for selected messages, subgroup windows for packed
+// groups (subgroup bit offsets follow group declaration order).
+func CapturePlan(sel *Selection) (*tbuf.CapturePlan, error) {
+	var rules []tbuf.Rule
+	for _, name := range sel.WP.Selected {
+		m, ok := sel.Evaluator.MessageByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: selected message %q missing from universe", name)
+		}
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+	}
+	for _, g := range sel.WP.Packed {
+		m, ok := sel.Evaluator.MessageByName(g.Message)
+		if !ok {
+			return nil, fmt.Errorf("exp: packed message %q missing from universe", g.Message)
+		}
+		offset := 0
+		for _, mg := range m.Groups {
+			if mg.Name == g.Group {
+				break
+			}
+			offset += mg.Width
+		}
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Offset: offset, Bits: g.Width})
+	}
+	return tbuf.NewCapturePlan(rules)
+}
+
+// TraceFiles runs a case study and returns the golden and buggy
+// trace-buffer contents as captured through the selection's plan — the
+// two artifacts a post-silicon debugging session actually starts from.
+func TraceFiles(run *CaseRun) (golden, buggy []tbuf.Entry, err error) {
+	plan, err := CapturePlan(run.Selection)
+	if err != nil {
+		return nil, nil, err
+	}
+	capture := func(events []soc.Event) ([]tbuf.Entry, error) {
+		buf := tbuf.New(BufferWidth, len(events)+1)
+		mon := soc.NewMonitor(plan, buf, nil)
+		if err := mon.Consume(events); err != nil {
+			return nil, err
+		}
+		return buf.Entries(), nil
+	}
+	if golden, err = capture(run.Golden.Events); err != nil {
+		return nil, nil, err
+	}
+	if buggy, err = capture(run.Buggy.Events); err != nil {
+		return nil, nil, err
+	}
+	return golden, buggy, nil
+}
+
+// DebugFromTraces reruns the debugging session using only the captured
+// trace files (no event streams) — validating that the workflow the paper
+// describes is achievable from buffer contents alone.
+func DebugFromTraces(run *CaseRun, seed int64) (*debugger.Report, error) {
+	golden, buggy, err := TraceFiles(run)
+	if err != nil {
+		return nil, err
+	}
+	traced := nameSet(run.Selection.WP.TracedNames())
+	obs := debugger.ObserveEntries(golden, buggy, traced, run.Obs.FocusIndex)
+	obs.Symptoms = run.Buggy.Symptoms
+	causes, err := opensparc.Causes(run.Case.Scenario.ID)
+	if err != nil {
+		return nil, err
+	}
+	return debugger.Debug(obs, debugger.Config{
+		Universe: run.Case.Scenario.Universe(),
+		Flows:    run.Case.Scenario.Flows(),
+		Traced:   run.Selection.WP.TracedNames(),
+		Causes:   causes,
+		Seed:     seed,
+	})
+}

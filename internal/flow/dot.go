@@ -1,0 +1,43 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the flow as a Graphviz digraph: initial states get a
+// bold outline, stop states a double circle, atomic states a shaded fill,
+// and every edge is labeled "message (width)". Feed the output to `dot
+// -Tsvg` to draw the specification the way the paper's Figure 1a does.
+func (f *Flow) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", f.name)
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=11];")
+	isInit := make(map[int]bool, len(f.init))
+	for _, s := range f.init {
+		isInit[s] = true
+	}
+	for s, name := range f.states {
+		var attrs []string
+		if f.IsStop(s) {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if isInit[s] {
+			attrs = append(attrs, "penwidth=2")
+		}
+		if f.atom[s] {
+			attrs = append(attrs, `style=filled`, `fillcolor=lightgray`)
+		}
+		fmt.Fprintf(bw, "  %q [%s];\n", name, strings.Join(attrs, ", "))
+	}
+	for _, e := range f.edges {
+		m := f.msgs[e.Msg]
+		fmt.Fprintf(bw, "  %q -> %q [label=\"%s (%d)\"];\n",
+			f.states[e.From], f.states[e.To], m.Name, m.Width)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,120 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Execution is an alternating sequence of flow states and messages ending
+// in a stop state (Definition 2), represented by the indices of the edges
+// taken. States[0] is the initial state; States[i+1] is reached by
+// Edges[i].
+type Execution struct {
+	Flow   *Flow
+	States []int
+	Edges  []int
+}
+
+// Trace returns trace(ρ): the message sequence of the execution.
+func (e Execution) Trace() []Message {
+	out := make([]Message, len(e.Edges))
+	for i, ei := range e.Edges {
+		out[i] = e.Flow.msgs[e.Flow.edges[ei].Msg]
+	}
+	return out
+}
+
+// String renders the execution as s0 -m1-> s1 -m2-> ... sn.
+func (e Execution) String() string {
+	var sb strings.Builder
+	for i, s := range e.States {
+		if i > 0 {
+			fmt.Fprintf(&sb, " -%s-> ", e.Flow.msgs[e.Flow.edges[e.Edges[i-1]].Msg].Name)
+		}
+		sb.WriteString(e.Flow.states[s])
+	}
+	return sb.String()
+}
+
+// Executions enumerates every execution of the flow (root-to-stop paths of
+// the DAG) and calls fn for each. Enumeration stops early if fn returns
+// false. The Execution passed to fn is reused across calls; fn must copy
+// it to retain it.
+func (f *Flow) Executions(fn func(Execution) bool) {
+	states := make([]int, 0, len(f.states))
+	edges := make([]int, 0, len(f.states))
+	var walk func(s int) bool
+	walk = func(s int) bool {
+		states = append(states, s)
+		defer func() { states = states[:len(states)-1] }()
+		if f.IsStop(s) {
+			if !fn(Execution{Flow: f, States: states, Edges: edges}) {
+				return false
+			}
+			// A stop state can still have outgoing edges in a general DAG;
+			// continue exploring longer executions through it.
+		}
+		for _, ei := range f.out[s] {
+			edges = append(edges, ei)
+			ok := walk(f.edges[ei].To)
+			edges = edges[:len(edges)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range f.init {
+		if !walk(s) {
+			return
+		}
+	}
+}
+
+// NumExecutions counts the flow's executions.
+func (f *Flow) NumExecutions() int {
+	n := 0
+	f.Executions(func(Execution) bool { n++; return true })
+	return n
+}
+
+// IndexedMsg is a message tagged with the index of the flow instance that
+// produced it (Definition 3). SoC designs realize the index through
+// architectural tagging of concurrent transactions.
+type IndexedMsg struct {
+	Name  string
+	Index int
+}
+
+// String renders the indexed message in the paper's i:Name notation.
+func (m IndexedMsg) String() string { return fmt.Sprintf("%d:%s", m.Index, m.Name) }
+
+// Instance is an indexed flow ⟨F, k⟩.
+type Instance struct {
+	Flow  *Flow
+	Index int
+}
+
+// Msg returns the indexed form of the instance's message with table id m.
+func (in Instance) Msg(m int) IndexedMsg {
+	return IndexedMsg{Name: in.Flow.msgs[m].Name, Index: in.Index}
+}
+
+// LegallyIndexed reports whether the instances are pairwise legally
+// indexed (Definition 4): two instances of the same flow must carry
+// different indices. Flows are compared by name.
+func LegallyIndexed(instances []Instance) bool {
+	type key struct {
+		flow  string
+		index int
+	}
+	seen := make(map[key]bool, len(instances))
+	for _, in := range instances {
+		k := key{in.Flow.Name(), in.Index}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}

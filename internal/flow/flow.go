@@ -1,0 +1,360 @@
+// Package flow implements the transaction-flow formalism of the DAC'18
+// paper "Application Level Hardware Tracing for Scaling Post-Silicon Debug"
+// (Definitions 1-4): flows as message-labeled DAGs with initial, stop, and
+// atomic states; executions and traces; and indexed flow instances for
+// concurrent invocations of the same protocol.
+//
+// A flow F = ⟨S, S0, Sp, E, δ, Atom⟩ gives the pattern of one system-level
+// protocol (e.g. a PIO read) as exchanged messages between hardware IPs.
+// Flows are built with a Builder and immutable afterwards.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"tracescale/internal/graph"
+)
+
+// Group is a named bit-field of a wider message (e.g. cputhreadid within
+// dmusiidata on OpenSPARC T2). Groups are the packing granules of the
+// selection algorithm's Step 3.
+type Group struct {
+	Name  string
+	Width int
+}
+
+// Message is a protocol message: an assignment of Boolean values to the
+// interface signals between two IPs. Width is the number of bits required
+// to represent the message content (the paper's ⟨C, w⟩ pair with C left
+// implicit). Src and Dst name the producing and consuming IPs.
+//
+// Cycles marks a multi-cycle message: its content is transferred over that
+// many clock cycles, so the trace buffer only needs ⌈Width/Cycles⌉ bits
+// per cycle to capture it (the paper's footnote 2). Zero or one means a
+// single-cycle message.
+type Message struct {
+	Name   string
+	Width  int
+	Src    string
+	Dst    string
+	Cycles int
+	Groups []Group
+}
+
+// TraceWidth returns the buffer bits required per cycle to trace the
+// message: Width for single-cycle messages, ⌈Width/Cycles⌉ for multi-cycle
+// ones.
+func (m Message) TraceWidth() int {
+	if m.Cycles <= 1 {
+		return m.Width
+	}
+	return (m.Width + m.Cycles - 1) / m.Cycles
+}
+
+// Edge is one transition of the flow DAG: state From evolves to state To
+// when message Msg is performed. From, To index into the flow's state
+// table and Msg into its message table.
+type Edge struct {
+	From, To int
+	Msg      int
+}
+
+// Flow is an immutable flow DAG (Definition 1). Build one with a Builder.
+type Flow struct {
+	name        string
+	states      []string
+	stateByName map[string]int
+	init        []int
+	stop        []int
+	atom        []bool
+	msgs        []Message
+	msgByName   map[string]int
+	edges       []Edge
+	out         [][]int // edge indices ordered by source state
+}
+
+// Name returns the flow's name.
+func (f *Flow) Name() string { return f.name }
+
+// NumStates returns |S|.
+func (f *Flow) NumStates() int { return len(f.states) }
+
+// NumMessages returns |E| (distinct message kinds, not edges).
+func (f *Flow) NumMessages() int { return len(f.msgs) }
+
+// StateName returns the name of state s.
+func (f *Flow) StateName(s int) string { return f.states[s] }
+
+// StateID returns the id of the named state.
+func (f *Flow) StateID(name string) (int, bool) {
+	id, ok := f.stateByName[name]
+	return id, ok
+}
+
+// Init returns the initial state ids (S0). The slice must not be modified.
+func (f *Flow) Init() []int { return f.init }
+
+// Stop returns the stop state ids (Sp). The slice must not be modified.
+func (f *Flow) Stop() []int { return f.stop }
+
+// IsStop reports whether s is a stop state.
+func (f *Flow) IsStop(s int) bool {
+	for _, t := range f.stop {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAtomic reports whether s belongs to the mutex set Atom.
+func (f *Flow) IsAtomic(s int) bool { return f.atom[s] }
+
+// Messages returns the flow's message table. The slice must not be
+// modified.
+func (f *Flow) Messages() []Message { return f.msgs }
+
+// Message returns the message with the given table index.
+func (f *Flow) Message(i int) Message { return f.msgs[i] }
+
+// MessageID returns the index of the named message.
+func (f *Flow) MessageID(name string) (int, bool) {
+	id, ok := f.msgByName[name]
+	return id, ok
+}
+
+// Edges returns all transitions. The slice must not be modified.
+func (f *Flow) Edges() []Edge { return f.edges }
+
+// Out returns the indices (into Edges) of the transitions leaving state s.
+// The slice must not be modified.
+func (f *Flow) Out(s int) []int { return f.out[s] }
+
+// TotalWidth returns the summed bit width of all messages of the flow.
+func (f *Flow) TotalWidth() int {
+	w := 0
+	for _, m := range f.msgs {
+		w += m.Width
+	}
+	return w
+}
+
+// Builder incrementally constructs a Flow. Errors are accumulated and
+// reported by Build, so construction code stays linear.
+type Builder struct {
+	name string
+	f    *Flow
+	errs []error
+}
+
+// NewBuilder returns a Builder for a flow with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name: name,
+		f: &Flow{
+			name:        name,
+			stateByName: make(map[string]int),
+			msgByName:   make(map[string]int),
+		},
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("flow %q: "+format, append([]any{b.name}, args...)...))
+}
+
+// State declares a flow state and returns its id. Redeclaring a state is
+// an error.
+func (b *Builder) State(name string) int {
+	if _, dup := b.f.stateByName[name]; dup {
+		b.errorf("duplicate state %q", name)
+		return b.f.stateByName[name]
+	}
+	id := len(b.f.states)
+	b.f.states = append(b.f.states, name)
+	b.f.stateByName[name] = id
+	b.f.atom = append(b.f.atom, false)
+	return id
+}
+
+// States declares several states at once.
+func (b *Builder) States(names ...string) {
+	for _, n := range names {
+		b.State(n)
+	}
+}
+
+func (b *Builder) stateID(name string) (int, bool) {
+	id, ok := b.f.stateByName[name]
+	if !ok {
+		b.errorf("unknown state %q", name)
+	}
+	return id, ok
+}
+
+// Init marks states as initial (S0).
+func (b *Builder) Init(names ...string) {
+	for _, n := range names {
+		if id, ok := b.stateID(n); ok {
+			b.f.init = append(b.f.init, id)
+		}
+	}
+}
+
+// Stop marks states as stop states (Sp).
+func (b *Builder) Stop(names ...string) {
+	for _, n := range names {
+		if id, ok := b.stateID(n); ok {
+			b.f.stop = append(b.f.stop, id)
+		}
+	}
+}
+
+// Atomic marks states as members of the mutex set Atom.
+func (b *Builder) Atomic(names ...string) {
+	for _, n := range names {
+		if id, ok := b.stateID(n); ok {
+			b.f.atom[id] = true
+		}
+	}
+}
+
+// Message declares a message usable on edges of this flow.
+func (b *Builder) Message(m Message) {
+	if m.Name == "" {
+		b.errorf("message with empty name")
+		return
+	}
+	if _, dup := b.f.msgByName[m.Name]; dup {
+		b.errorf("duplicate message %q", m.Name)
+		return
+	}
+	if m.Width < 1 {
+		b.errorf("message %q has non-positive width %d", m.Name, m.Width)
+		return
+	}
+	if m.Cycles < 0 || m.Cycles > m.Width {
+		b.errorf("message %q transfers %d bits over %d cycles", m.Name, m.Width, m.Cycles)
+		return
+	}
+	seen := make(map[string]bool, len(m.Groups))
+	for _, g := range m.Groups {
+		if g.Name == "" || seen[g.Name] {
+			b.errorf("message %q has empty or duplicate group name %q", m.Name, g.Name)
+			return
+		}
+		seen[g.Name] = true
+		if g.Width < 1 || g.Width >= m.Width {
+			b.errorf("message %q group %q width %d outside (0,%d)", m.Name, g.Name, g.Width, m.Width)
+			return
+		}
+	}
+	b.f.msgByName[m.Name] = len(b.f.msgs)
+	b.f.msgs = append(b.f.msgs, m)
+}
+
+// Edge adds a transition from -> to labeled with the named message.
+func (b *Builder) Edge(from, to, msg string) {
+	u, ok1 := b.stateID(from)
+	v, ok2 := b.stateID(to)
+	m, ok3 := b.f.msgByName[msg]
+	if !ok3 {
+		b.errorf("unknown message %q on edge %s->%s", msg, from, to)
+	}
+	if ok1 && ok2 && ok3 {
+		b.f.edges = append(b.f.edges, Edge{From: u, To: v, Msg: m})
+	}
+}
+
+// Chain adds a linear sequence of transitions: states[0] -msgs[0]->
+// states[1] -msgs[1]-> ... It requires len(msgs) == len(states)-1.
+func (b *Builder) Chain(states []string, msgs []string) {
+	if len(msgs) != len(states)-1 {
+		b.errorf("chain arity mismatch: %d states, %d messages", len(states), len(msgs))
+		return
+	}
+	for i, m := range msgs {
+		b.Edge(states[i], states[i+1], m)
+	}
+}
+
+// Build validates the flow and returns it. The flow must be a DAG, have at
+// least one initial and one stop state, satisfy Sp ∩ Atom = ∅
+// (Definition 1), have no atomic initial states (an interleaving could
+// otherwise start with two atomic components), and every state must lie on
+// some execution (reachable from S0 and co-reachable to Sp).
+func (b *Builder) Build() (*Flow, error) {
+	f := b.f
+	if len(f.states) == 0 {
+		b.errorf("no states")
+	}
+	if len(f.init) == 0 {
+		b.errorf("no initial states")
+	}
+	if len(f.stop) == 0 {
+		b.errorf("no stop states")
+	}
+	for _, s := range f.stop {
+		if f.atom[s] {
+			b.errorf("stop state %q is atomic (violates Sp ∩ Atom = ∅)", f.states[s])
+		}
+	}
+	for _, s := range f.init {
+		if f.atom[s] {
+			b.errorf("initial state %q is atomic", f.states[s])
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+
+	g := graph.New(len(f.states))
+	for _, e := range f.edges {
+		g.AddEdge(e.From, e.To)
+	}
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("flow %q: transition relation has a cycle", f.name)
+	}
+	reach := g.Reachable(f.init)
+	coreach := g.CoReachable(f.stop)
+	for s := range f.states {
+		if !reach[s] {
+			return nil, fmt.Errorf("flow %q: state %q unreachable from initial states", f.name, f.states[s])
+		}
+		if !coreach[s] {
+			return nil, fmt.Errorf("flow %q: no execution from state %q reaches a stop state", f.name, f.states[s])
+		}
+	}
+	for i, m := range f.msgs {
+		used := false
+		for _, e := range f.edges {
+			if e.Msg == i {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return nil, fmt.Errorf("flow %q: message %q labels no transition", f.name, m.Name)
+		}
+	}
+
+	f.out = make([][]int, len(f.states))
+	for i, e := range f.edges {
+		f.out[e.From] = append(f.out[e.From], i)
+	}
+	// Deterministic edge order within a state: by target then message.
+	for s := range f.out {
+		es := f.out[s]
+		sort.Slice(es, func(i, j int) bool {
+			a, b := f.edges[es[i]], f.edges[es[j]]
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Msg < b.Msg
+		})
+	}
+	built := f
+	b.f = nil // builder is spent
+	return built, nil
+}

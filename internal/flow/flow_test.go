@@ -1,0 +1,332 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheCoherenceFixture(t *testing.T) {
+	f := CacheCoherence()
+	if f.Name() != "cachecoherence" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.NumStates() != 4 {
+		t.Errorf("NumStates = %d, want 4", f.NumStates())
+	}
+	if f.NumMessages() != 3 {
+		t.Errorf("NumMessages = %d, want 3", f.NumMessages())
+	}
+	if len(f.Edges()) != 3 {
+		t.Errorf("edges = %d, want 3", len(f.Edges()))
+	}
+	if f.TotalWidth() != 3 {
+		t.Errorf("TotalWidth = %d, want 3", f.TotalWidth())
+	}
+	gntw, ok := f.StateID("GntW")
+	if !ok || !f.IsAtomic(gntw) {
+		t.Errorf("GntW should be atomic")
+	}
+	done, _ := f.StateID("Done")
+	if !f.IsStop(done) {
+		t.Errorf("Done should be a stop state")
+	}
+	init, _ := f.StateID("Init")
+	if f.IsStop(init) || f.IsAtomic(init) {
+		t.Errorf("Init misclassified")
+	}
+}
+
+func TestStateAndMessageLookups(t *testing.T) {
+	f := CacheCoherence()
+	if _, ok := f.StateID("NoSuch"); ok {
+		t.Error("found nonexistent state")
+	}
+	id, ok := f.MessageID("GntE")
+	if !ok || f.Message(id).Name != "GntE" {
+		t.Errorf("MessageID(GntE) = %d, %v", id, ok)
+	}
+	if _, ok := f.MessageID("NoSuch"); ok {
+		t.Error("found nonexistent message")
+	}
+}
+
+func TestExecutionsLinearFlow(t *testing.T) {
+	f := CacheCoherence()
+	if n := f.NumExecutions(); n != 1 {
+		t.Fatalf("NumExecutions = %d, want 1", n)
+	}
+	var got string
+	f.Executions(func(e Execution) bool {
+		got = e.String()
+		tr := e.Trace()
+		if len(tr) != 3 || tr[0].Name != "ReqE" || tr[1].Name != "GntE" || tr[2].Name != "Ack" {
+			t.Errorf("Trace = %v", tr)
+		}
+		return true
+	})
+	if got != "Init -ReqE-> Wait -GntE-> GntW -Ack-> Done" {
+		t.Errorf("execution = %q", got)
+	}
+}
+
+func TestExecutionsBranchingFlow(t *testing.T) {
+	b := NewBuilder("branch")
+	b.States("a", "b", "c", "d")
+	b.Init("a")
+	b.Stop("d")
+	b.Message(Message{Name: "m1", Width: 1})
+	b.Message(Message{Name: "m2", Width: 2})
+	b.Message(Message{Name: "m3", Width: 3})
+	b.Edge("a", "b", "m1")
+	b.Edge("a", "c", "m2")
+	b.Edge("b", "d", "m3")
+	b.Edge("c", "d", "m3")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.NumExecutions(); n != 2 {
+		t.Errorf("NumExecutions = %d, want 2", n)
+	}
+}
+
+func TestExecutionsEarlyStop(t *testing.T) {
+	b := NewBuilder("branch")
+	b.States("a", "b", "c")
+	b.Init("a")
+	b.Stop("c")
+	b.Message(Message{Name: "m", Width: 1})
+	b.Edge("a", "b", "m")
+	b.Edge("a", "c", "m")
+	b.Edge("b", "c", "m")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	f.Executions(func(Execution) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d executions, want 1", n)
+	}
+}
+
+// An execution may pass through a stop state and continue (general DAGs).
+func TestExecutionsThroughStopState(t *testing.T) {
+	b := NewBuilder("throughstop")
+	b.States("a", "b", "c")
+	b.Init("a")
+	b.Stop("b", "c")
+	b.Message(Message{Name: "m", Width: 1})
+	b.Edge("a", "b", "m")
+	b.Edge("b", "c", "m")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.NumExecutions(); n != 2 {
+		t.Errorf("NumExecutions = %d, want 2 (a->b and a->b->c)", n)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"no states", func(b *Builder) {}, "no states"},
+		{"no init", func(b *Builder) {
+			b.States("a")
+			b.Stop("a")
+		}, "no initial"},
+		{"no stop", func(b *Builder) {
+			b.States("a")
+			b.Init("a")
+		}, "no stop"},
+		{"atomic stop", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Atomic("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "b", "m")
+		}, "atomic"},
+		{"atomic init", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Atomic("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "b", "m")
+		}, "atomic"},
+		{"duplicate state", func(b *Builder) {
+			b.States("a", "a", "b")
+			b.Init("a")
+			b.Stop("b")
+		}, "duplicate state"},
+		{"duplicate message", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Message(Message{Name: "m", Width: 2})
+			b.Edge("a", "b", "m")
+		}, "duplicate message"},
+		{"bad width", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 0})
+			b.Edge("a", "b", "m")
+		}, "width"},
+		{"bad group width", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 4, Groups: []Group{{Name: "g", Width: 4}}})
+			b.Edge("a", "b", "m")
+		}, "group"},
+		{"duplicate group", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 4, Groups: []Group{{Name: "g", Width: 1}, {Name: "g", Width: 2}}})
+			b.Edge("a", "b", "m")
+		}, "group"},
+		{"unknown state", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "zz", "m")
+		}, "unknown state"},
+		{"unknown message", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Edge("a", "b", "zz")
+		}, "unknown message"},
+		{"cycle", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "b", "m")
+			b.Edge("b", "a", "m")
+		}, "cycle"},
+		{"unreachable", func(b *Builder) {
+			b.States("a", "b", "c")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "b", "m")
+			b.Edge("c", "b", "m")
+		}, "unreachable"},
+		{"dead end", func(b *Builder) {
+			b.States("a", "b", "c")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Edge("a", "b", "m")
+			b.Edge("a", "c", "m")
+		}, "stop state"},
+		{"unused message", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Message(Message{Name: "unused", Width: 1})
+			b.Edge("a", "b", "m")
+		}, "labels no transition"},
+		{"chain arity", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "m", Width: 1})
+			b.Chain([]string{"a", "b"}, []string{"m", "m"})
+		}, "chain arity"},
+		{"empty message name", func(b *Builder) {
+			b.States("a", "b")
+			b.Init("a")
+			b.Stop("b")
+			b.Message(Message{Name: "", Width: 1})
+			b.Edge("a", "b", "")
+		}, "empty name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder("t")
+			tc.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestIndexedMsgString(t *testing.T) {
+	m := IndexedMsg{Name: "GntE", Index: 2}
+	if m.String() != "2:GntE" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestInstanceMsg(t *testing.T) {
+	f := CacheCoherence()
+	in := Instance{Flow: f, Index: 1}
+	id, _ := f.MessageID("ReqE")
+	if got := in.Msg(id); got != (IndexedMsg{Name: "ReqE", Index: 1}) {
+		t.Errorf("Msg = %v", got)
+	}
+}
+
+func TestLegallyIndexed(t *testing.T) {
+	f := CacheCoherence()
+	g := CacheCoherence() // same name, different pointer: still the same flow
+	if !LegallyIndexed([]Instance{{f, 1}, {f, 2}}) {
+		t.Error("distinct indices of same flow should be legal")
+	}
+	if LegallyIndexed([]Instance{{f, 1}, {g, 1}}) {
+		t.Error("same flow name with same index should be illegal")
+	}
+	b := NewBuilder("other")
+	b.States("a", "b")
+	b.Init("a")
+	b.Stop("b")
+	b.Message(Message{Name: "m", Width: 1})
+	b.Edge("a", "b", "m")
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !LegallyIndexed([]Instance{{f, 1}, {other, 1}}) {
+		t.Error("different flows may share an index")
+	}
+}
+
+func TestOutOrderingDeterministic(t *testing.T) {
+	b := NewBuilder("det")
+	b.States("a", "b", "c")
+	b.Init("a")
+	b.Stop("b", "c")
+	b.Message(Message{Name: "m1", Width: 1})
+	b.Message(Message{Name: "m2", Width: 1})
+	b.Edge("a", "c", "m2")
+	b.Edge("a", "b", "m1")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.StateID("a")
+	out := f.Out(a)
+	if len(out) != 2 {
+		t.Fatalf("out degree = %d", len(out))
+	}
+	if f.Edges()[out[0]].To > f.Edges()[out[1]].To {
+		t.Error("Out edges not sorted by target")
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "math/big"
+
+// CountPaths returns, for every node u, the exact number of distinct
+// directed paths from u to any node in sinks (a path from a sink to itself
+// counts as one). The graph must be a DAG; CountPaths returns ErrCycle
+// otherwise. Counts are exact big integers: interleaved flows can have
+// astronomically many paths.
+func (g *Directed) CountPaths(sinks []int) ([]*big.Int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	isSink := make([]bool, g.N())
+	for _, s := range sinks {
+		g.check(s)
+		isSink[s] = true
+	}
+	count := make([]*big.Int, g.N())
+	for i := range count {
+		count[i] = new(big.Int)
+	}
+	// Process in reverse topological order so successors are final.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if isSink[u] {
+			count[u].SetInt64(1)
+			// A sink may still have successors (e.g. a stop state with
+			// outgoing product edges); paths that continue past it are
+			// counted in addition to the terminating path.
+		}
+		for _, v := range g.succ[u] {
+			count[u].Add(count[u], count[v])
+		}
+	}
+	return count, nil
+}
+
+// TotalPaths sums CountPaths over the given source nodes.
+func (g *Directed) TotalPaths(sources, sinks []int) (*big.Int, error) {
+	count, err := g.CountPaths(sinks)
+	if err != nil {
+		return nil, err
+	}
+	total := new(big.Int)
+	seen := make(map[int]bool, len(sources))
+	for _, s := range sources {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		total.Add(total, count[s])
+	}
+	return total, nil
+}
+
+// LongestPathLen returns the number of edges on a longest path in the DAG,
+// or ErrCycle for cyclic graphs.
+func (g *Directed) LongestPathLen() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	depth := make([]int, g.N())
+	best := 0
+	for _, u := range order {
+		for _, v := range g.succ[u] {
+			if depth[u]+1 > depth[v] {
+				depth[v] = depth[u] + 1
+				if depth[v] > best {
+					best = depth[v]
+				}
+			}
+		}
+	}
+	return best, nil
+}

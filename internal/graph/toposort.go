@@ -1,0 +1,48 @@
+package graph
+
+import "errors"
+
+// ErrCycle is returned by TopoSort when the graph contains a directed cycle.
+var ErrCycle = errors.New("graph: not a DAG (directed cycle detected)")
+
+// TopoSort returns a topological order of the graph, or ErrCycle if the
+// graph has a directed cycle. Kahn's algorithm; ties are broken by node id
+// so the order is deterministic.
+func (g *Directed) TopoSort() ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		indeg[u] = len(g.pred[u])
+	}
+	// A simple binary-heap-free approach: repeatedly scan a ready queue kept
+	// sorted by construction (nodes are appended in increasing discovery
+	// order, which is deterministic even if not globally sorted).
+	ready := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Directed) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}

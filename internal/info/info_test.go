@@ -1,0 +1,236 @@
+package info
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestEntropyUniform(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	if got, want := Entropy(p), math.Log(4); math.Abs(got-want) > eps {
+		t.Errorf("Entropy = %g, want ln 4 = %g", got, want)
+	}
+}
+
+func TestEntropyDeterministic(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Errorf("Entropy = %g, want 0", got)
+	}
+}
+
+func TestEntropyNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative probability")
+		}
+	}()
+	Entropy([]float64{-0.1, 1.1})
+}
+
+func TestBits(t *testing.T) {
+	if got := Bits(math.Log(2)); math.Abs(got-1) > eps {
+		t.Errorf("Bits(ln 2) = %g, want 1", got)
+	}
+}
+
+func TestKLIdentical(t *testing.T) {
+	p := []float64{0.5, 0.3, 0.2}
+	if got := KL(p, p); math.Abs(got) > eps {
+		t.Errorf("KL(p,p) = %g, want 0", got)
+	}
+}
+
+func TestKLInfinity(t *testing.T) {
+	if got := KL([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(got, 1) {
+		t.Errorf("KL = %g, want +Inf", got)
+	}
+}
+
+func TestKLMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	KL([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()
+			q[i] = rng.Float64() + 1e-3 // keep q strictly positive
+		}
+		p = Normalize(p)
+		q = Normalize(q)
+		return KL(p, q) >= -eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{1, 3})
+	if math.Abs(p[0]-0.25) > eps || math.Abs(p[1]-0.75) > eps {
+		t.Errorf("Normalize = %v", p)
+	}
+}
+
+func TestNormalizeZero(t *testing.T) {
+	p := Normalize([]float64{0, 0})
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("Normalize zero vector = %v, want zeros", p)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	// Independent joint: p(x,y) = p(x)p(y) gives MI = 0.
+	joint := [][]float64{
+		{0.25, 0.25},
+		{0.25, 0.25},
+	}
+	if got := MutualInformation(joint); math.Abs(got) > eps {
+		t.Errorf("MI = %g, want 0", got)
+	}
+}
+
+func TestMutualInformationPerfectlyCorrelated(t *testing.T) {
+	// X == Y uniform over 2 values: MI = ln 2.
+	joint := [][]float64{
+		{0.5, 0},
+		{0, 0.5},
+	}
+	if got, want := MutualInformation(joint), math.Log(2); math.Abs(got-want) > eps {
+		t.Errorf("MI = %g, want ln 2 = %g", got, want)
+	}
+}
+
+func TestMutualInformationUnnormalizedInput(t *testing.T) {
+	// Scaling the joint must not change MI.
+	a := [][]float64{{3, 1}, {1, 3}}
+	b := [][]float64{{0.375, 0.125}, {0.125, 0.375}}
+	if ga, gb := MutualInformation(a), MutualInformation(b); math.Abs(ga-gb) > eps {
+		t.Errorf("MI differs under scaling: %g vs %g", ga, gb)
+	}
+}
+
+func TestMutualInformationEmptyJoint(t *testing.T) {
+	if got := MutualInformation(nil); got != 0 {
+		t.Errorf("MI(nil) = %g, want 0", got)
+	}
+	if got := MutualInformation([][]float64{{0, 0}}); got != 0 {
+		t.Errorf("MI(zeros) = %g, want 0", got)
+	}
+}
+
+// Property: MI >= 0 and MI <= min(H(X), H(Y)) for random joints.
+func TestMutualInformationBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 2+rng.Intn(5), 2+rng.Intn(5)
+		joint := make([][]float64, nx)
+		total := 0.0
+		for x := range joint {
+			joint[x] = make([]float64, ny)
+			for y := range joint[x] {
+				joint[x][y] = rng.Float64()
+				total += joint[x][y]
+			}
+		}
+		px := make([]float64, nx)
+		py := make([]float64, ny)
+		for x := range joint {
+			for y := range joint[x] {
+				p := joint[x][y] / total
+				px[x] += p
+				py[y] += p
+			}
+		}
+		mi := MutualInformation(joint)
+		hx, hy := Entropy(px), Entropy(py)
+		bound := hx
+		if hy < hx {
+			bound = hy
+		}
+		return mi >= -eps && mi <= bound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MI is symmetric under transposing the joint.
+func TestMutualInformationSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 2+rng.Intn(4), 2+rng.Intn(4)
+		joint := make([][]float64, nx)
+		tr := make([][]float64, ny)
+		for y := range tr {
+			tr[y] = make([]float64, nx)
+		}
+		for x := range joint {
+			joint[x] = make([]float64, ny)
+			for y := range joint[x] {
+				joint[x][y] = rng.Float64()
+				tr[y][x] = joint[x][y]
+			}
+		}
+		return math.Abs(MutualInformation(joint)-MutualInformation(tr)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorPaperExample(t *testing.T) {
+	// DAC'18 §3.2 worked example: 12 terms, each p(x,y)=1/18, p(x)=1/15,
+	// p(y)=3/18; I = 1.073 nats.
+	var a Accumulator
+	for i := 0; i < 12; i++ {
+		a.Add(1.0/18, 1.0/15, 3.0/18)
+	}
+	if got := a.Value(); math.Abs(got-1.0729) > 1e-3 {
+		t.Errorf("I = %g, want 1.073", got)
+	}
+	if a.Terms() != 12 {
+		t.Errorf("Terms = %d, want 12", a.Terms())
+	}
+}
+
+func TestAccumulatorZeroTermIgnored(t *testing.T) {
+	var a Accumulator
+	a.Add(0, 0.5, 0.5)
+	if a.Value() != 0 || a.Terms() != 0 {
+		t.Errorf("zero term changed accumulator: %g, %d", a.Value(), a.Terms())
+	}
+}
+
+func TestAccumulatorZeroMarginalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero marginal with positive joint")
+		}
+	}()
+	var a Accumulator
+	a.Add(0.1, 0, 0.5)
+}
+
+func TestAccumulatorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative term")
+		}
+	}()
+	var a Accumulator
+	a.Add(-0.1, 0.5, 0.5)
+}

@@ -1,0 +1,175 @@
+package interleave
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+
+	"tracescale/internal/flow"
+)
+
+// WriteDOT renders the interleaved flow as a Graphviz digraph in the style
+// of the paper's Figure 2: product states named (s1, s2, ...), edges
+// labeled with indexed messages, initial states bold, stop states double
+// circles. With highlight non-nil, the executions consistent with the
+// observation (prefix semantics) are drawn red — the figure's "paths shown
+// in red". Intended for small products; it fails above maxDotStates.
+func (p *Product) WriteDOT(w io.Writer, traced map[string]bool, highlight []flow.IndexedMsg) error {
+	const maxDotStates = 4096
+	if p.NumStates() > maxDotStates {
+		return fmt.Errorf("interleave: %d states is too large for DOT rendering", p.NumStates())
+	}
+
+	// With a highlight observation, compute for each state whether it lies
+	// on a consistent execution: forward-reachable under the observation
+	// DP and backward-consistent. Simpler and exact: an edge is red when
+	// the count of consistent paths through it is positive; derive via the
+	// same DP plus prefix-feasibility from the initial states.
+	onPath := map[[2]int]bool{} // (state, matched) reachable from init
+	var redEdge func(u int, e Edge, j int) bool
+	if highlight != nil {
+		for _, m := range highlight {
+			if !traced[m.Name] {
+				return fmt.Errorf("interleave: highlighted message %s not traced", m)
+			}
+		}
+		// Forward reachability over (state, matched-prefix-length).
+		type node struct{ u, j int }
+		stack := make([]node, 0, len(p.init))
+		seen := map[node]bool{}
+		for _, s := range p.init {
+			n := node{s, 0}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onPath[[2]int{n.u, n.j}] = true
+			for _, e := range p.out[n.u] {
+				m := p.Msg(e)
+				var next node
+				switch {
+				case !traced[m.Name]:
+					next = node{e.To, n.j}
+				case n.j < len(highlight) && m == highlight[n.j]:
+					next = node{e.To, n.j + 1}
+				case n.j >= len(highlight):
+					next = node{e.To, n.j}
+				default:
+					continue
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		redEdge = func(u int, e Edge, j int) bool {
+			// An edge is red if some consistent full execution crosses it:
+			// feasible prefix into u at j, legal step, and a consistent
+			// completion from the successor.
+			if !onPath[[2]int{u, j}] {
+				return false
+			}
+			m := p.Msg(e)
+			var nj int
+			switch {
+			case !traced[m.Name]:
+				nj = j
+			case j < len(highlight) && m == highlight[j]:
+				nj = j + 1
+			case j >= len(highlight):
+				nj = j
+			default:
+				return false
+			}
+			c, err := p.consistentFrom(e.To, nj, traced, highlight)
+			return err == nil && c.Sign() > 0
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph interleaving {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+	isInit := map[int]bool{}
+	for _, s := range p.init {
+		isInit[s] = true
+	}
+	isStop := map[int]bool{}
+	for _, s := range p.stop {
+		isStop[s] = true
+	}
+	for u := 0; u < p.NumStates(); u++ {
+		attrs := ""
+		if isStop[u] {
+			attrs = "shape=doublecircle"
+		}
+		if isInit[u] {
+			if attrs != "" {
+				attrs += ", "
+			}
+			attrs += "penwidth=2"
+		}
+		fmt.Fprintf(bw, "  %d [label=%q, %s];\n", u, p.StateName(u), attrs)
+	}
+	for u := 0; u < p.NumStates(); u++ {
+		for _, e := range p.out[u] {
+			red := false
+			if redEdge != nil {
+				// An edge may be red at any feasible prefix length.
+				for j := 0; j <= len(highlight) && !red; j++ {
+					red = redEdge(u, e, j)
+				}
+			}
+			if red {
+				fmt.Fprintf(bw, "  %d -> %d [label=%q, color=red, penwidth=2];\n", u, e.To, p.Msg(e).String())
+			} else {
+				fmt.Fprintf(bw, "  %d -> %d [label=%q];\n", u, e.To, p.Msg(e).String())
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// consistentFrom counts consistent completions from state u with j
+// observed messages already matched — a single-source variant of
+// ConsistentPaths used by the DOT highlighter.
+func (p *Product) consistentFrom(u, j int, traced map[string]bool, observed []flow.IndexedMsg) (*big.Int, error) {
+	isStop := make([]bool, p.NumStates())
+	for _, s := range p.stop {
+		isStop[s] = true
+	}
+	k := len(observed)
+	memo := make(map[[2]int]*big.Int)
+	var count func(u, j int) *big.Int
+	count = func(u, j int) *big.Int {
+		key := [2]int{u, j}
+		if c, ok := memo[key]; ok {
+			return c
+		}
+		c := new(big.Int)
+		memo[key] = c
+		if isStop[u] && j == k {
+			c.SetInt64(1)
+		}
+		for _, e := range p.out[u] {
+			m := p.Msg(e)
+			switch {
+			case !traced[m.Name]:
+				c.Add(c, count(e.To, j))
+			case j < k && m == observed[j]:
+				c.Add(c, count(e.To, j+1))
+			case j == k:
+				c.Add(c, count(e.To, j))
+			}
+		}
+		return c
+	}
+	return count(u, j), nil
+}

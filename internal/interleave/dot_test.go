@@ -1,0 +1,75 @@
+package interleave
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+)
+
+func TestFlowWriteDOT(t *testing.T) {
+	f := flow.CacheCoherence()
+	var buf bytes.Buffer
+	if err := f.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "cachecoherence"`, `"GntW" [style=filled`, `shape=doublecircle`,
+		`"Init" -> "Wait" [label="ReqE (1)"]`, "rankdir=LR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flow DOT missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestProductWriteDOTPlain(t *testing.T) {
+	p := twoInstances(t)
+	var buf bytes.Buffer
+	if err := p.WriteDOT(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "->"); got != p.NumEdges() {
+		t.Errorf("DOT has %d edges, want %d", got, p.NumEdges())
+	}
+	if !strings.Contains(out, `label="(Init1, Init2)"`) {
+		t.Errorf("DOT missing initial state label\n%s", out)
+	}
+	if strings.Contains(out, "color=red") {
+		t.Error("plain DOT should have no highlighted edges")
+	}
+}
+
+// The paper's Figure-2 rendering: the observation highlights exactly the
+// consistent execution's edges in red.
+func TestProductWriteDOTHighlight(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true, "GntE": true}
+	observed := []flow.IndexedMsg{
+		{Name: "ReqE", Index: 1},
+		{Name: "GntE", Index: 1},
+		{Name: "ReqE", Index: 2},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteDOT(&buf, traced, observed); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	red := strings.Count(out, "color=red")
+	// Exactly one consistent execution of 6 transitions: 6 red edges.
+	if red != 6 {
+		t.Errorf("highlighted %d edges, want 6\n%s", red, out)
+	}
+}
+
+func TestProductWriteDOTErrors(t *testing.T) {
+	p := twoInstances(t)
+	var buf bytes.Buffer
+	err := p.WriteDOT(&buf, map[string]bool{"ReqE": true}, []flow.IndexedMsg{{Name: "Ack", Index: 1}})
+	if err == nil {
+		t.Error("untraced highlight accepted")
+	}
+}

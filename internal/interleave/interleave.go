@@ -1,0 +1,370 @@
+// Package interleave constructs the interleaved flow of a set of legally
+// indexed flow instances (Definition 5 of the DAC'18 paper): the
+// synchronized product automaton in which a component flow may take a step
+// only while no *other* component sits in an atomic state, so that two
+// atomic states never coexist. The product is the probability space over
+// which message combinations are scored by mutual information gain, and the
+// path space over which debugging localization is measured.
+package interleave
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/graph"
+)
+
+// Edge is one transition of the interleaved flow: instance Inst performed
+// its flow edge FlowEdge, moving the product to state To.
+type Edge struct {
+	To       int
+	Inst     int // index into the product's instance list
+	FlowEdge int // edge index within that instance's flow
+}
+
+// Product is the interleaved flow U = F1 ||| F2 ||| ... of the given
+// instances, restricted to states reachable from the initial tuple(s).
+// It is immutable after New.
+type Product struct {
+	instances []flow.Instance
+	tuples    [][]int // tuples[i] = component state per instance
+	index     map[string]int
+	init      []int
+	stop      []int
+	out       [][]Edge
+	numEdges  int
+}
+
+// ErrNotLegallyIndexed is returned by New when two instances of the same
+// flow share an index (violating Definition 4).
+var ErrNotLegallyIndexed = errors.New("interleave: instances are not legally indexed")
+
+// MaxStates bounds product construction; New fails rather than exhausting
+// memory on pathological inputs.
+const MaxStates = 4_000_000
+
+func key(tuple []int) string {
+	var sb strings.Builder
+	for i, s := range tuple {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+// New builds the interleaved flow of the given instances. It returns
+// ErrNotLegallyIndexed for illegal indexing and an error if the reachable
+// product exceeds MaxStates.
+func New(instances []flow.Instance) (*Product, error) {
+	if len(instances) == 0 {
+		return nil, errors.New("interleave: no instances")
+	}
+	if !flow.LegallyIndexed(instances) {
+		return nil, ErrNotLegallyIndexed
+	}
+	p := &Product{
+		instances: instances,
+		index:     make(map[string]int),
+	}
+
+	// Seed with the cross product of component initial states. Initial
+	// states are never atomic (flow.Builder enforces it), so every seed
+	// tuple is legal.
+	var seeds [][]int
+	seeds = append(seeds, []int{})
+	for _, in := range instances {
+		var next [][]int
+		for _, partial := range seeds {
+			for _, s0 := range in.Flow.Init() {
+				t := make([]int, len(partial), len(instances))
+				copy(t, partial)
+				next = append(next, append(t, s0))
+			}
+		}
+		seeds = next
+	}
+	for _, t := range seeds {
+		p.init = append(p.init, p.intern(t))
+	}
+
+	// BFS over reachable product states.
+	for head := 0; head < len(p.tuples); head++ {
+		if len(p.tuples) > MaxStates {
+			return nil, fmt.Errorf("interleave: product exceeds %d states", MaxStates)
+		}
+		tuple := p.tuples[head]
+		// blocked[i]: some other component is atomic, so instance i may not
+		// move. With at most one atomic component (an invariant of the
+		// construction), this means: if component a is atomic, only a moves.
+		atomicAt := -1
+		for i, in := range p.instances {
+			if in.Flow.IsAtomic(tuple[i]) {
+				atomicAt = i
+				break
+			}
+		}
+		for i, in := range p.instances {
+			if atomicAt >= 0 && atomicAt != i {
+				continue
+			}
+			f := in.Flow
+			for _, ei := range f.Out(tuple[i]) {
+				e := f.Edges()[ei]
+				succ := make([]int, len(tuple))
+				copy(succ, tuple)
+				succ[i] = e.To
+				v := p.intern(succ)
+				p.out[head] = append(p.out[head], Edge{To: v, Inst: i, FlowEdge: ei})
+				p.numEdges++
+			}
+		}
+	}
+
+	// Stop states: every component in a stop state of its flow.
+	for u, tuple := range p.tuples {
+		allStop := true
+		for i, in := range p.instances {
+			if !in.Flow.IsStop(tuple[i]) {
+				allStop = false
+				break
+			}
+		}
+		if allStop {
+			p.stop = append(p.stop, u)
+		}
+	}
+	if len(p.stop) == 0 {
+		return nil, errors.New("interleave: no reachable stop state")
+	}
+	return p, nil
+}
+
+func (p *Product) intern(tuple []int) int {
+	k := key(tuple)
+	if id, ok := p.index[k]; ok {
+		return id
+	}
+	id := len(p.tuples)
+	p.index[k] = id
+	p.tuples = append(p.tuples, tuple)
+	p.out = append(p.out, nil)
+	return id
+}
+
+// Instances returns the participating instances. The slice must not be
+// modified.
+func (p *Product) Instances() []flow.Instance { return p.instances }
+
+// NumStates returns the number of reachable legal product states.
+func (p *Product) NumStates() int { return len(p.tuples) }
+
+// NumEdges returns the number of product transitions.
+func (p *Product) NumEdges() int { return p.numEdges }
+
+// Init returns the initial product states.
+func (p *Product) Init() []int { return p.init }
+
+// Stop returns the product states in which every component flow has
+// completed.
+func (p *Product) Stop() []int { return p.stop }
+
+// Out returns the transitions leaving product state u. The slice must not
+// be modified.
+func (p *Product) Out(u int) []Edge { return p.out[u] }
+
+// Tuple returns the component states of product state u. The slice must
+// not be modified.
+func (p *Product) Tuple(u int) []int { return p.tuples[u] }
+
+// StateName renders product state u in the paper's (c1, n2) style: each
+// component's state name suffixed with its instance index.
+func (p *Product) StateName(u int) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, s := range p.tuples[u] {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s%d", p.instances[i].Flow.StateName(s), p.instances[i].Index)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// FindState returns the product state with the given component tuple, or
+// -1 if that tuple is unreachable or illegal.
+func (p *Product) FindState(tuple []int) int {
+	if len(tuple) != len(p.instances) {
+		return -1
+	}
+	if id, ok := p.index[key(tuple)]; ok {
+		return id
+	}
+	return -1
+}
+
+// Msg returns the indexed message labeling edge e.
+func (p *Product) Msg(e Edge) flow.IndexedMsg {
+	in := p.instances[e.Inst]
+	return in.Msg(in.Flow.Edges()[e.FlowEdge].Msg)
+}
+
+// Message returns the unindexed message labeling edge e.
+func (p *Product) Message(e Edge) flow.Message {
+	f := p.instances[e.Inst].Flow
+	return f.Message(f.Edges()[e.FlowEdge].Msg)
+}
+
+// Graph returns the product's shape as a directed graph (labels dropped).
+func (p *Product) Graph() *graph.Directed {
+	g := graph.New(p.NumStates())
+	for u := range p.out {
+		for _, e := range p.out[u] {
+			g.AddEdge(u, e.To)
+		}
+	}
+	return g
+}
+
+// TotalPaths returns the exact number of executions of the interleaved
+// flow: directed paths from an initial state to a stop state.
+func (p *Product) TotalPaths() *big.Int {
+	total, err := p.Graph().TotalPaths(p.init, p.stop)
+	if err != nil {
+		// Products of DAGs are DAGs; a cycle here is a library bug.
+		panic("interleave: product of DAGs has a cycle: " + err.Error())
+	}
+	return total
+}
+
+// MsgStat aggregates the occurrences of one indexed message over the
+// interleaved flow: how many edges it labels and, per target state, how
+// many of those edges enter that state. These are the sufficient
+// statistics for the paper's information-gain computation (p(y) and
+// p(x|y)).
+type MsgStat struct {
+	Count   int
+	Targets map[int]int
+}
+
+// MessageStats returns per-indexed-message statistics over all edges.
+func (p *Product) MessageStats() map[flow.IndexedMsg]*MsgStat {
+	stats := make(map[flow.IndexedMsg]*MsgStat)
+	for u := range p.out {
+		for _, e := range p.out[u] {
+			m := p.Msg(e)
+			st := stats[m]
+			if st == nil {
+				st = &MsgStat{Targets: make(map[int]int)}
+				stats[m] = st
+			}
+			st.Count++
+			st.Targets[e.To]++
+		}
+	}
+	return stats
+}
+
+// VisibleStates returns the number of distinct product states reached by a
+// transition labeled with any message whose name is in names (the visible
+// states of Definition 7). Indexing is ignored: selecting a message makes
+// every instance of it observable.
+func (p *Product) VisibleStates(names map[string]bool) int {
+	seen := make(map[int]bool)
+	for u := range p.out {
+		for _, e := range p.out[u] {
+			if names[p.Message(e).Name] {
+				seen[e.To] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Execution is one complete execution of the interleaved flow: the
+// product states visited and the edges taken.
+type Execution struct {
+	States []int
+	Edges  []Edge
+}
+
+// Trace returns the execution's indexed-message sequence.
+func (e Execution) Trace(p *Product) []flow.IndexedMsg {
+	out := make([]flow.IndexedMsg, len(e.Edges))
+	for i, edge := range e.Edges {
+		out[i] = p.Msg(edge)
+	}
+	return out
+}
+
+// Executions enumerates the interleaved flow's executions and calls fn for
+// each, stopping early if fn returns false. The Execution passed to fn is
+// reused; copy it to retain it. Exponentially many executions exist —
+// callers should bound enumeration via the callback.
+func (p *Product) Executions(fn func(Execution) bool) {
+	isStop := make([]bool, p.NumStates())
+	for _, s := range p.stop {
+		isStop[s] = true
+	}
+	states := make([]int, 0, 64)
+	edges := make([]Edge, 0, 64)
+	var walk func(u int) bool
+	walk = func(u int) bool {
+		states = append(states, u)
+		defer func() { states = states[:len(states)-1] }()
+		if isStop[u] {
+			if !fn(Execution{States: states, Edges: edges}) {
+				return false
+			}
+		}
+		for _, e := range p.out[u] {
+			edges = append(edges, e)
+			ok := walk(e.To)
+			edges = edges[:len(edges)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	seen := make(map[int]bool, len(p.init))
+	for _, s := range p.init {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if !walk(s) {
+			return
+		}
+	}
+}
+
+// RandomExecution draws one execution uniformly at random over local edge
+// choices (not over complete paths) — a cheap sampler for synthetic
+// observations.
+func (p *Product) RandomExecution(rng *rand.Rand) Execution {
+	isStop := make([]bool, p.NumStates())
+	for _, s := range p.stop {
+		isStop[s] = true
+	}
+	u := p.init[rng.Intn(len(p.init))]
+	var ex Execution
+	ex.States = append(ex.States, u)
+	for !isStop[u] {
+		outs := p.out[u]
+		if len(outs) == 0 {
+			break // dead end (cannot happen in validated flows)
+		}
+		e := outs[rng.Intn(len(outs))]
+		ex.Edges = append(ex.Edges, e)
+		u = e.To
+		ex.States = append(ex.States, u)
+	}
+	return ex
+}

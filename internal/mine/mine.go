@@ -1,0 +1,108 @@
+// Package mine infers flow specifications from passing-run traces. The
+// paper assumes flows arrive as architectural collateral; in practice
+// teams often bootstrap that collateral by mining the message order out of
+// directed tests that exercise one protocol at a time (exactly the
+// single-flow tests of the regression environment). The miner checks that
+// every transaction tag saw the same message sequence, then emits a
+// linear flow whose states are synthesized between the messages and whose
+// widths come from the captured entry widths.
+package mine
+
+import (
+	"fmt"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/tbuf"
+)
+
+// Observation describes a mined message.
+type Observation struct {
+	Name  string
+	Width int // widest captured entry
+	Count int // occurrences across all tags
+}
+
+// Mined is the result of mining one single-flow trace.
+type Mined struct {
+	// Order is the common per-tag message sequence.
+	Order []Observation
+	// Tags is the number of transactions witnessed.
+	Tags int
+}
+
+// Chain mines a linear flow from the trace of a test that exercises one
+// protocol: entries are grouped by tag, every tag's sequence must agree,
+// and the shared sequence becomes the chain. Endpoints (Src/Dst) are not
+// recoverable from a trace file and are left empty.
+func Chain(entries []tbuf.Entry) (*Mined, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("mine: empty trace")
+	}
+	perTag := map[int][]tbuf.Entry{}
+	var tags []int
+	for _, e := range entries {
+		if _, ok := perTag[e.Msg.Index]; !ok {
+			tags = append(tags, e.Msg.Index)
+		}
+		perTag[e.Msg.Index] = append(perTag[e.Msg.Index], e)
+	}
+
+	var order []Observation
+	for i, tag := range tags {
+		seq := perTag[tag]
+		if i == 0 {
+			for _, e := range seq {
+				order = append(order, Observation{Name: e.Msg.Name, Width: e.Bits, Count: 1})
+			}
+			continue
+		}
+		if len(seq) != len(order) {
+			return nil, fmt.Errorf("mine: tag %d saw %d messages, tag %d saw %d — not a single linear flow",
+				tags[0], len(order), tag, len(seq))
+		}
+		for j, e := range seq {
+			if e.Msg.Name != order[j].Name {
+				return nil, fmt.Errorf("mine: tag %d message %d is %s, tag %d saw %s — inconsistent ordering",
+					tag, j, e.Msg.Name, tags[0], order[j].Name)
+			}
+			if e.Bits > order[j].Width {
+				order[j].Width = e.Bits
+			}
+			order[j].Count++
+		}
+	}
+
+	// A message may not repeat within the chain: the linear-flow model
+	// maps each to one transition.
+	seen := map[string]bool{}
+	for _, o := range order {
+		if seen[o.Name] {
+			return nil, fmt.Errorf("mine: message %s repeats within a transaction; not a simple chain", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	return &Mined{Order: order, Tags: len(tags)}, nil
+}
+
+// Flow materializes the mined chain as a flow DAG named name, with
+// synthesized state names S0..Sn.
+func (m *Mined) Flow(name string) (*flow.Flow, error) {
+	if len(m.Order) == 0 {
+		return nil, fmt.Errorf("mine: nothing mined")
+	}
+	b := flow.NewBuilder(name)
+	states := make([]string, len(m.Order)+1)
+	for i := range states {
+		states[i] = fmt.Sprintf("S%d", i)
+	}
+	b.States(states...)
+	b.Init(states[0])
+	b.Stop(states[len(states)-1])
+	msgs := make([]string, len(m.Order))
+	for i, o := range m.Order {
+		b.Message(flow.Message{Name: o.Name, Width: o.Width})
+		msgs[i] = o.Name
+	}
+	b.Chain(states, msgs)
+	return b.Build()
+}

@@ -1,0 +1,151 @@
+package mine
+
+import (
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/opensparc"
+	"tracescale/internal/soc"
+	"tracescale/internal/tbuf"
+)
+
+// captureAll records every message of a run at full width — a mining
+// trace.
+func captureAll(t *testing.T, f *flow.Flow, n int, seed int64) []tbuf.Entry {
+	t.Helper()
+	var rules []tbuf.Rule
+	width := 0
+	for _, m := range f.Messages() {
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+		width += m.Width
+	}
+	plan, err := tbuf.NewCapturePlan(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := soc.Run(soc.Scenario{Name: f.Name(), Launches: soc.Repeat(f, n, 1, 0, 8)},
+		soc.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("mining run failed: %v", res.Symptoms)
+	}
+	mon := soc.NewMonitor(plan, tbuf.New(width, 4096), nil)
+	if err := mon.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	return mon.Buffer().Entries()
+}
+
+// Mining each T2 single-flow regression trace recovers that flow's exact
+// shape: message order, count, and widths.
+func TestMineRecoversT2Flows(t *testing.T) {
+	for name, f := range opensparc.Flows() {
+		entries := captureAll(t, f, 12, 3)
+		m, err := Chain(entries)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Tags != 12 {
+			t.Errorf("%s: mined %d tags, want 12", name, m.Tags)
+		}
+		if len(m.Order) != f.NumMessages() {
+			t.Fatalf("%s: mined %d messages, want %d", name, len(m.Order), f.NumMessages())
+		}
+		// Order and widths match the ground-truth chain.
+		var wantOrder []string
+		f.Executions(func(e flow.Execution) bool {
+			for _, msg := range e.Trace() {
+				wantOrder = append(wantOrder, msg.Name)
+			}
+			return false
+		})
+		for i, o := range m.Order {
+			if o.Name != wantOrder[i] {
+				t.Errorf("%s: position %d mined %s, want %s", name, i, o.Name, wantOrder[i])
+			}
+			gt, _ := f.MessageID(o.Name)
+			if o.Width != f.Message(gt).Width {
+				t.Errorf("%s: %s mined width %d, want %d", name, o.Name, o.Width, f.Message(gt).Width)
+			}
+			if o.Count != 12 {
+				t.Errorf("%s: %s count %d, want 12", name, o.Name, o.Count)
+			}
+		}
+		// The materialized flow has the right shape and interleaves.
+		mined, err := m.Flow("mined_" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mined.NumStates() != f.NumStates() || mined.NumMessages() != f.NumMessages() {
+			t.Errorf("%s: mined flow (%d, %d), want (%d, %d)", name,
+				mined.NumStates(), mined.NumMessages(), f.NumStates(), f.NumMessages())
+		}
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	if _, err := Chain(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	mk := func(tag int, names ...string) []tbuf.Entry {
+		var out []tbuf.Entry
+		for _, n := range names {
+			out = append(out, tbuf.Entry{Msg: flow.IndexedMsg{Name: n, Index: tag}, Bits: 2})
+		}
+		return out
+	}
+	// Length mismatch across tags.
+	if _, err := Chain(append(mk(1, "a", "b"), mk(2, "a")...)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Order mismatch.
+	if _, err := Chain(append(mk(1, "a", "b"), mk(2, "b", "a")...)); err == nil {
+		t.Error("order mismatch accepted")
+	}
+	// Repeated message within a transaction.
+	if _, err := Chain(mk(1, "a", "a")); err == nil {
+		t.Error("repeating message accepted")
+	}
+	// Flow from nothing.
+	m := &Mined{}
+	if _, err := m.Flow("x"); err == nil {
+		t.Error("empty mined flow accepted")
+	}
+}
+
+// Mining an interleaved multi-flow trace must fail loudly rather than
+// produce a bogus chain.
+func TestMineRejectsInterleavedFlows(t *testing.T) {
+	s, err := opensparc.ScenarioByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []tbuf.Rule
+	width := 0
+	for _, m := range s.Universe() {
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+		width += m.Width
+	}
+	plan, err := tbuf.NewCapturePlan(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := soc.Run(soc.Scenario{Name: s.Name, Launches: s.Launches(6, 12)}, soc.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := soc.NewMonitor(plan, tbuf.New(width, 4096), nil)
+	if err := mon.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Chain(mon.Buffer().Entries())
+	if err == nil {
+		t.Fatal("interleaved trace mined as a chain")
+	}
+	if !strings.Contains(err.Error(), "mine:") {
+		t.Errorf("error = %v", err)
+	}
+}

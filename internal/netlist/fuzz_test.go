@@ -1,0 +1,34 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary netlist text never panics, and accepted designs
+// survive a Format/Parse round trip with identical shape.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("INPUT(a)\nq = DFF(a)\n")
+	f.Add("x = CONST1()\n")
+	f.Add("INPUT(a)\nBUS(b, a)")
+	f.Add("MODULE(m)\n# nothing")
+	f.Fuzz(func(t *testing.T, in string) {
+		n, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Format(&buf, n); err != nil {
+			t.Fatalf("Format after successful Parse: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Parse: %v\ninput: %q\nwrote: %q", err, in, buf.String())
+		}
+		if back.N() != n.N() || len(back.FFs()) != len(n.FFs()) || len(back.Buses()) != len(n.Buses()) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

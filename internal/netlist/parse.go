@@ -1,0 +1,239 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tracescale/internal/graph"
+)
+
+// The textual netlist format is ISCAS-89-flavored:
+//
+//	# comment
+//	MODULE(UTMI)              — tag following nets with a module name
+//	INPUT(serial)
+//	q = DFF(d)                — d may be defined later in the file
+//	g = AND(a, b, c)
+//	n = NOT(a)
+//	z = CONST0()
+//	BUS(rx_data, b7, ..., b0) — register an interface bus (LSB last)
+//
+// Gate operands must be nets defined somewhere in the file; combinational
+// definitions may appear in any order as long as they are acyclic.
+
+// Format writes the netlist in the textual format. Buses are emitted
+// MSB-first to match Parse.
+func Format(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	currentModule := ""
+	emitModule := func(id int) {
+		if m := n.Module(id); m != currentModule {
+			currentModule = m
+			fmt.Fprintf(bw, "MODULE(%s)\n", m)
+		}
+	}
+	for _, id := range n.Inputs() {
+		emitModule(id)
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Name(id))
+	}
+	for id := 0; id < n.N(); id++ {
+		g := n.Gate(id)
+		if g.Kind == Input {
+			continue
+		}
+		emitModule(id)
+		ins := make([]string, len(g.Ins))
+		for i, u := range g.Ins {
+			ins[i] = n.Name(u)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name(id), strings.ToUpper(g.Kind.String()), strings.Join(ins, ", "))
+	}
+	for _, bus := range n.Buses() {
+		ids := n.Bus(bus)
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[len(ids)-1-i] = n.Name(id) // MSB first
+		}
+		fmt.Fprintf(bw, "BUS(%s, %s)\n", bus, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+type parsedNet struct {
+	name   string
+	kind   Kind
+	ins    []string
+	module string
+	line   int
+}
+
+// Parse reads a netlist in the textual format.
+func Parse(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		nets   []parsedNet
+		byName = make(map[string]int)
+		buses  [][]string // [0] = bus name, rest = member names MSB-first
+		module string
+		lineNo int
+	)
+	kinds := map[string]Kind{
+		"DFF": DFF, "AND": And, "OR": Or, "XOR": Xor, "NAND": Nand,
+		"NOR": Nor, "NOT": Not, "BUF": Buf, "CONST0": Const0, "CONST1": Const1,
+	}
+	declare := func(p parsedNet) error {
+		if _, dup := byName[p.name]; dup {
+			return fmt.Errorf("netlist: line %d: duplicate net %q", p.line, p.name)
+		}
+		byName[p.name] = len(nets)
+		nets = append(nets, p)
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "MODULE(") && strings.HasSuffix(line, ")"):
+			module = strings.TrimSpace(line[len("MODULE(") : len(line)-1])
+		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
+			name := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if name == "" {
+				return nil, fmt.Errorf("netlist: line %d: empty input name", lineNo)
+			}
+			if err := declare(parsedNet{name: name, kind: Input, module: module, line: lineNo}); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "BUS(") && strings.HasSuffix(line, ")"):
+			parts := splitArgs(line[len("BUS(") : len(line)-1])
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("netlist: line %d: BUS needs a name and members", lineNo)
+			}
+			buses = append(buses, parts)
+		default:
+			eq := strings.Index(line, "=")
+			open := strings.Index(line, "(")
+			if eq < 0 || open < eq || !strings.HasSuffix(line, ")") {
+				return nil, fmt.Errorf("netlist: line %d: cannot parse %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[:eq])
+			op := strings.TrimSpace(line[eq+1 : open])
+			kind, ok := kinds[strings.ToUpper(op)]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown operator %q", lineNo, op)
+			}
+			ins := splitArgs(line[open+1 : len(line)-1])
+			if err := declare(parsedNet{name: name, kind: kind, ins: ins, module: module, line: lineNo}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("netlist: empty design")
+	}
+
+	// Resolve references and order combinational gates topologically so
+	// the builder sees operands before users. DFF data inputs may be
+	// forward references (sequential feedback); everything else must be
+	// acyclic.
+	for _, p := range nets {
+		for _, in := range p.ins {
+			if _, ok := byName[in]; !ok {
+				return nil, fmt.Errorf("netlist: line %d: %q references unknown net %q", p.line, p.name, in)
+			}
+		}
+	}
+	g := graph.New(len(nets))
+	for vi, p := range nets {
+		if p.kind == DFF || p.kind == Input {
+			continue
+		}
+		for _, in := range p.ins {
+			g.AddEdge(byName[in], vi)
+		}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("netlist: combinational cycle in input")
+	}
+
+	b := NewBuilder()
+	ids := make([]int, len(nets))
+	created := make([]bool, len(nets))
+	mkModule := func(p parsedNet) { b.SetModule(p.module) }
+	// Inputs and DFFs first (gate operands may be either).
+	for i, p := range nets {
+		switch p.kind {
+		case Input:
+			mkModule(p)
+			ids[i] = b.Input(p.name)
+			created[i] = true
+		case DFF:
+			if len(p.ins) != 1 {
+				return nil, fmt.Errorf("netlist: line %d: DFF %q needs exactly one input", p.line, p.name)
+			}
+			mkModule(p)
+			ids[i] = b.DFF(p.name)
+			created[i] = true
+		}
+	}
+	for _, vi := range order {
+		p := nets[vi]
+		if created[vi] {
+			continue
+		}
+		ins := make([]int, len(p.ins))
+		for j, in := range p.ins {
+			ins[j] = ids[byName[in]]
+		}
+		mkModule(p)
+		ids[vi] = b.Gate(p.name, p.kind, ins...)
+		created[vi] = true
+	}
+	for i, p := range nets {
+		if p.kind == DFF {
+			b.Connect(ids[i], ids[byName[p.ins[0]]])
+		}
+	}
+	for _, bus := range buses {
+		members := make([]int, len(bus)-1)
+		for j, name := range bus[1:] {
+			vi, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("netlist: bus %q references unknown net %q", bus[0], name)
+			}
+			members[len(members)-1-j] = ids[vi] // back to LSB-first
+		}
+		b.Bus(bus[0], members)
+	}
+	return b.Build()
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sortedNames is a test helper exposed for deterministic dumps.
+func sortedNames(n *Netlist) []string {
+	out := make([]string, n.N())
+	for i := range out {
+		out[i] = n.Name(i)
+	}
+	sort.Strings(out)
+	return out
+}

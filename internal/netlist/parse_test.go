@@ -1,0 +1,111 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# a tiny design
+MODULE(top)
+INPUT(a)
+INPUT(b)
+q0 = DFF(mix)
+q1 = DFF(q0)
+mix = XOR(a, q1)
+g = AND(a, b)
+n = NOT(g)
+z = CONST1()
+BUS(pair, q1, q0)
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 8 {
+		t.Fatalf("N = %d, want 8", n.N())
+	}
+	if len(n.FFs()) != 2 || len(n.Inputs()) != 2 {
+		t.Errorf("ffs/inputs = %d/%d", len(n.FFs()), len(n.Inputs()))
+	}
+	// Forward reference: q0's data input is mix, defined later.
+	q0, _ := n.NetID("q0")
+	mix, _ := n.NetID("mix")
+	if got := n.Gate(q0).Ins[0]; got != mix {
+		t.Errorf("q0 data input = %s, want mix", n.Name(got))
+	}
+	// Bus order: BUS(pair, q1, q0) is MSB-first, so LSB (index 0) is q0.
+	pair := n.Bus("pair")
+	q1, _ := n.NetID("q1")
+	if len(pair) != 2 || pair[0] != q0 || pair[1] != q1 {
+		t.Errorf("bus pair = %v", pair)
+	}
+	if n.Module(q0) != "top" {
+		t.Errorf("module = %q", n.Module(q0))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"garbage", "hello world"},
+		{"unknown op", "x = FOO(a)"},
+		{"unknown ref", "INPUT(a)\nx = AND(a, zz)"},
+		{"duplicate", "INPUT(a)\nINPUT(a)"},
+		{"empty input", "INPUT()"},
+		{"bus no members", "INPUT(a)\nBUS(b)"},
+		{"bus unknown member", "INPUT(a)\nq = DFF(a)\nBUS(b, zz)"},
+		{"dff arity", "INPUT(a)\nINPUT(c)\nq = DFF(a, c)"},
+		{"comb cycle", "INPUT(a)\nx = AND(a, y)\ny = BUF(x)"},
+		{"bus of gate", "INPUT(a)\ng = NOT(a)\nBUS(b, g)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("parsed %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if back.N() != orig.N() || len(back.FFs()) != len(orig.FFs()) {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.N(), len(back.FFs()), orig.N(), len(orig.FFs()))
+	}
+	a, b := sortedNames(orig), sortedNames(back)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("net names diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// Behavior must be identical: same trace under the same stimulus.
+	ta := Record(orig, 32, 5)
+	tb := Record(back, 32, 5)
+	for c := range ta.Values {
+		for name := range map[string]bool{"q0": true, "q1": true, "mix": true, "n": true} {
+			ia, _ := orig.NetID(name)
+			ib, _ := back.NetID(name)
+			if ta.Values[c][ia] != tb.Values[c][ib] {
+				t.Fatalf("behavior diverges at cycle %d net %s", c, name)
+			}
+		}
+	}
+}

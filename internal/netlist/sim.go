@@ -1,0 +1,126 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sim is a cycle-accurate two-valued simulator over a netlist. The zero
+// state is all flip-flops 0.
+type Sim struct {
+	n   *Netlist
+	val []bool // current value of every net
+}
+
+// NewSim returns a simulator with all flip-flops and inputs zero and the
+// combinational nets settled against that state.
+func NewSim(n *Netlist) *Sim {
+	s := &Sim{n: n, val: make([]bool, n.N())}
+	s.Settle(nil)
+	return s
+}
+
+// Value returns the current value of a net.
+func (s *Sim) Value(id int) bool { return s.val[id] }
+
+// Step advances one clock cycle: flip-flops sample their data inputs
+// (computed from the pre-step state), primary inputs take the supplied
+// values, and combinational nets are re-evaluated. Missing inputs default
+// to false.
+func (s *Sim) Step(inputs map[int]bool) {
+	// Sample FFs from the settled pre-step values.
+	next := make([]bool, len(s.n.ffs))
+	for i, ff := range s.n.ffs {
+		next[i] = s.val[s.n.gates[ff].Ins[0]]
+	}
+	for i, ff := range s.n.ffs {
+		s.val[ff] = next[i]
+	}
+	for _, in := range s.n.inputs {
+		s.val[in] = inputs[in]
+	}
+	for _, v := range s.n.order {
+		s.val[v] = s.eval(v)
+	}
+}
+
+// Settle recomputes combinational nets without clocking the flip-flops —
+// used to establish cycle-0 values after setting inputs.
+func (s *Sim) Settle(inputs map[int]bool) {
+	for _, in := range s.n.inputs {
+		s.val[in] = inputs[in]
+	}
+	for _, v := range s.n.order {
+		s.val[v] = s.eval(v)
+	}
+}
+
+func (s *Sim) eval(v int) bool {
+	g := s.n.gates[v]
+	switch g.Kind {
+	case And, Nand:
+		out := true
+		for _, u := range g.Ins {
+			out = out && s.val[u]
+		}
+		if g.Kind == Nand {
+			return !out
+		}
+		return out
+	case Or, Nor:
+		out := false
+		for _, u := range g.Ins {
+			out = out || s.val[u]
+		}
+		if g.Kind == Nor {
+			return !out
+		}
+		return out
+	case Xor:
+		out := false
+		for _, u := range g.Ins {
+			out = out != s.val[u]
+		}
+		return out
+	case Not:
+		return !s.val[g.Ins[0]]
+	case Buf:
+		return s.val[g.Ins[0]]
+	case Const0:
+		return false
+	case Const1:
+		return true
+	default:
+		panic(fmt.Sprintf("netlist: eval of %v net %q", g.Kind, s.n.names[v]))
+	}
+}
+
+// Trace is a recorded simulation: Values[c][net] is the value of every net
+// at cycle c (after that cycle's Step).
+type Trace struct {
+	Netlist *Netlist
+	Values  [][]bool
+}
+
+// Cycles returns the trace length.
+func (t *Trace) Cycles() int { return len(t.Values) }
+
+// Record simulates cycles clock ticks with pseudo-random primary inputs
+// (seeded, reproducible) and records every net's value each cycle. It is
+// the ground-truth execution that restoration quality is measured against.
+func Record(n *Netlist, cycles int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	sim := NewSim(n)
+	t := &Trace{Netlist: n}
+	for c := 0; c < cycles; c++ {
+		in := make(map[int]bool, len(n.inputs))
+		for _, id := range n.inputs {
+			in[id] = rng.Intn(2) == 1
+		}
+		sim.Step(in)
+		row := make([]bool, n.N())
+		copy(row, sim.val)
+		t.Values = append(t.Values, row)
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVCD dumps a recorded trace as an IEEE-1364 value change dump, the
+// lingua franca of waveform viewers, so gate-level runs of the substrate
+// can be inspected with standard EDA tooling. Nets are grouped into module
+// scopes; only value changes are emitted. nets selects which net ids to
+// dump (nil = every net).
+func WriteVCD(w io.Writer, t *Trace, nets []int) error {
+	n := t.Netlist
+	if nets == nil {
+		nets = make([]int, n.N())
+		for i := range nets {
+			nets[i] = i
+		}
+	}
+	for _, id := range nets {
+		if id < 0 || id >= n.N() {
+			return fmt.Errorf("netlist: vcd net %d out of range", id)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "$date tracescale $end")
+	fmt.Fprintln(bw, "$version tracescale netlist simulator $end")
+	fmt.Fprintln(bw, "$timescale 1ns $end")
+
+	// Identifier codes: printable ASCII starting at '!'.
+	code := func(i int) string {
+		const lo, hi = 33, 127
+		var out []byte
+		for {
+			out = append(out, byte(lo+i%(hi-lo)))
+			i /= hi - lo
+			if i == 0 {
+				break
+			}
+			i--
+		}
+		return string(out)
+	}
+
+	// Group nets by module for $scope sections (deterministic order).
+	byModule := make(map[string][]int)
+	for _, id := range nets {
+		byModule[n.Module(id)] = append(byModule[n.Module(id)], id)
+	}
+	modules := make([]string, 0, len(byModule))
+	for m := range byModule {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+
+	ids := make(map[int]string, len(nets))
+	k := 0
+	for _, m := range modules {
+		scope := m
+		if scope == "" {
+			scope = "top"
+		}
+		fmt.Fprintf(bw, "$scope module %s $end\n", sanitize(scope))
+		for _, id := range byModule[m] {
+			ids[id] = code(k)
+			k++
+			fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", ids[id], sanitize(n.Name(id)))
+		}
+		fmt.Fprintln(bw, "$upscope $end")
+	}
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	// Initial values, then per-cycle changes.
+	fmt.Fprintln(bw, "#0")
+	fmt.Fprintln(bw, "$dumpvars")
+	prev := make(map[int]bool, len(nets))
+	for _, id := range nets {
+		v := false
+		if t.Cycles() > 0 {
+			v = t.Values[0][id]
+		}
+		prev[id] = v
+		fmt.Fprintf(bw, "%s%s\n", bit(v), ids[id])
+	}
+	fmt.Fprintln(bw, "$end")
+	for c := 1; c < t.Cycles(); c++ {
+		headed := false
+		for _, id := range nets {
+			v := t.Values[c][id]
+			if v == prev[id] {
+				continue
+			}
+			if !headed {
+				fmt.Fprintf(bw, "#%d\n", c)
+				headed = true
+			}
+			prev[id] = v
+			fmt.Fprintf(bw, "%s%s\n", bit(v), ids[id])
+		}
+	}
+	return bw.Flush()
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// sanitize maps characters VCD identifiers dislike to underscores.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == ' ' || c == '\t' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,91 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	n, ids := counterDesign(t)
+	tr := Record(n, 8, 1)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, []int{ids["q0"], ids["q1"], ids["both"]}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module ctr $end", "$var wire 1", "q0", "q1",
+		"$enddefinitions $end", "#0", "$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q\n%s", want, out)
+		}
+	}
+	// q0 toggles every cycle: there must be a change record at every
+	// timestep 1..7.
+	for c := 1; c < 8; c++ {
+		if !strings.Contains(out, "#"+string(rune('0'+c))) {
+			t.Errorf("VCD missing timestep #%d", c)
+		}
+	}
+}
+
+func TestWriteVCDAllNetsAndErrors(t *testing.T) {
+	n, _ := counterDesign(t)
+	tr := Record(n, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "$var wire"); got != n.N() {
+		t.Errorf("dumped %d vars, want %d", got, n.N())
+	}
+	if err := WriteVCD(&buf, tr, []int{99}); err == nil {
+		t.Error("out-of-range net accepted")
+	}
+}
+
+func TestVCDIdentifierCodesUnique(t *testing.T) {
+	// A large design must not reuse identifier codes (multi-character
+	// codes kick in past 94 nets).
+	b := NewBuilder()
+	in := b.Input("in")
+	prev := in
+	for i := 0; i < 200; i++ {
+		q := b.DFF(nameN2("q", i))
+		b.Connect(q, prev)
+		prev = q
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(n, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "$var wire 1 ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		code := fields[3]
+		if seen[code] {
+			t.Fatalf("identifier code %q reused", code)
+		}
+		seen[code] = true
+	}
+	if len(seen) != n.N() {
+		t.Errorf("codes = %d, want %d", len(seen), n.N())
+	}
+}
+
+func nameN2(p string, i int) string {
+	if i < 10 {
+		return p + string(rune('0'+i))
+	}
+	return p + string(rune('a'+i/10)) + string(rune('0'+i%10))
+}

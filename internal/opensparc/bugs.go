@@ -1,0 +1,76 @@
+package opensparc
+
+import (
+	"fmt"
+
+	"tracescale/internal/inject"
+)
+
+// Bug aliases the injection framework's bug model.
+type Bug = inject.Bug
+
+// Bugs returns the 14-bug injection catalog: the four representative bugs
+// of Table 2 (ids 1-4) plus ten further bugs in the QED communication-bug
+// classes, spread across five IP blocks (DMU, NCU, CCX, MCU, SIU) as in
+// the paper's setup. Bug ids reuse the id space visible in Table 5
+// (1..36).
+func Bugs() []Bug {
+	return []Bug{
+		// Table 2, bug 1.
+		{ID: 1, IP: DMU, Depth: 4, Category: "Control",
+			Description: "wrong command generation by data misinterpretation",
+			Kind:        inject.Corrupt, Target: MsgDMUPEUReq, XorMask: 0x00F0, AfterIndex: 3},
+		// Table 2, bug 2.
+		{ID: 2, IP: DMU, Depth: 4, Category: "Data",
+			Description: "data corruption by wrong address generation",
+			Kind:        inject.Corrupt, Target: MsgPEUDMUData, XorMask: 0x0081, AfterIndex: 5},
+		// Table 2, bug 3.
+		{ID: 3, IP: DMU, Depth: 3, Category: "Control",
+			Description: "wrong construction of Unit Control Block resulting in malformed request",
+			Kind:        inject.Corrupt, Target: MsgDMUSIIRd, XorMask: 0x3 << 32, AfterIndex: 4},
+		// Table 2, bug 4.
+		{ID: 4, IP: NCU, Depth: 4, Category: "Control",
+			Description: "generating wrong request due to incorrect decoding of request packet from CPU buffer",
+			Kind:        inject.Corrupt, Target: MsgNCUMCURd, XorMask: 0x00C, AfterIndex: 6},
+		{ID: 5, IP: CCX, Depth: 3, Category: "Control",
+			Description: "downstream CPU request lost in crossbar arbitration",
+			Kind:        inject.Drop, Target: MsgCPXNCUReq, AfterIndex: 8},
+		{ID: 8, IP: DMU, Depth: 3, Category: "Control",
+			Description: "PIO read completion never forwarded to SIU",
+			Kind:        inject.Drop, Target: MsgDMUSIIRd, AfterIndex: 7},
+		{ID: 12, IP: NCU, Depth: 4, Category: "Control",
+			Description: "erroneous interrupt dequeue logic after interrupt is serviced",
+			Kind:        inject.Drop, Target: MsgMondoAckNack, AfterIndex: 3},
+		{ID: 17, IP: NCU, Depth: 3, Category: "Data",
+			Description: "upstream payload assembled with stale buffer contents",
+			Kind:        inject.Corrupt, Target: MsgNCUCPXData, XorMask: 0xFF << 20, AfterIndex: 4},
+		{ID: 18, IP: CCX, Depth: 3, Category: "Control",
+			Description: "malformed CPU request formed by crossbar packet slicer",
+			Kind:        inject.Corrupt, Target: MsgCPXNCUReq, XorMask: 0x2A, AfterIndex: 5},
+		{ID: 24, IP: MCU, Depth: 4, Category: "Data",
+			Description: "erroneous decoding of CPU requests corrupts the memory read return",
+			Kind:        inject.Corrupt, Target: MsgMCUNCUData, XorMask: 0x5000, AfterIndex: 6},
+		{ID: 29, IP: NCU, Depth: 4, Category: "Control",
+			Description: "wrong interrupt decoding logic: Mondo ack/nack never generated",
+			Kind:        inject.Drop, Target: MsgMondoAckNack},
+		{ID: 33, IP: DMU, Depth: 4, Category: "Control",
+			Description: "wrong interrupt generation logic: Mondo transfer request never raised",
+			Kind:        inject.Drop, Target: MsgReqTot},
+		{ID: 34, IP: SIU, Depth: 3, Category: "Data",
+			Description: "SIU-to-NCU forward corrupts credit/payload field",
+			Kind:        inject.Corrupt, Target: MsgSIINCU, XorMask: 0x18, AfterIndex: 9},
+		{ID: 36, IP: NCU, Depth: 3, Category: "Control",
+			Description: "PIO write request dropped by NCU downstream queue overflow",
+			Kind:        inject.Drop, Target: MsgPIOWReq, AfterIndex: 10},
+	}
+}
+
+// BugByID returns the catalog bug with the given id.
+func BugByID(id int) (Bug, error) {
+	for _, b := range Bugs() {
+		if b.ID == id {
+			return b, nil
+		}
+	}
+	return Bug{}, fmt.Errorf("opensparc: no bug %d in catalog", id)
+}

@@ -1,0 +1,48 @@
+package opensparc
+
+import (
+	"tracescale/internal/flow"
+	"tracescale/internal/soc"
+)
+
+// T2DataGen generates structured payloads for the T2 messages: the Mondo
+// payload dmusiidata carries a real cputhreadid field (CPU id in the high
+// three bits, thread id in the low three, both derived from the
+// transaction tag), so a captured cputhreadid window can be checked for
+// the "correct CPUID and ThreadID" the way the paper's §5.7 walkthrough
+// does. Every other message falls back to the default occurrence hash.
+//
+// Field layout of dmusiidata (20 bits, LSB first, matching the packing
+// offsets of the declared groups):
+//
+//	[ 5: 0] cputhreadid — cpu[2:0] << 3 | thread[2:0]
+//	[12: 6] intvec      — interrupt vector (hashed)
+//	[16:13] mondostat   — status nibble (hashed)
+//	[19:17] reserved
+func T2DataGen(m flow.Message, index, occurrence int, seed int64) uint64 {
+	base := soc.DefaultDataGen(m, index, occurrence, seed)
+	if m.Name != MsgDMUSIIData {
+		return base
+	}
+	cpu := uint64(index) % 8
+	thread := uint64(index/8) % 8
+	cputhreadid := cpu<<3 | thread
+	intvec := (base >> 6) & 0x7F
+	mondostat := (base >> 13) & 0xF
+	return cputhreadid | intvec<<6 | mondostat<<13
+}
+
+// CPUThreadID unpacks a captured cputhreadid window into CPU and thread
+// ids.
+func CPUThreadID(window uint64) (cpu, thread int) {
+	return int(window>>3) & 7, int(window) & 7
+}
+
+// ExpectedCPUThreadID returns the field value a correct DMU generates for
+// a transaction tag — the reference the validator compares captured
+// windows against.
+func ExpectedCPUThreadID(index int) uint64 {
+	cpu := uint64(index) % 8
+	thread := uint64(index/8) % 8
+	return cpu<<3 | thread
+}

@@ -1,0 +1,187 @@
+// Package opensparc models the OpenSPARC T2 testbed of the paper's
+// evaluation at the transaction level: the participating IPs (Figure 3),
+// the five system-level protocol flows of Table 1 (PIO read, PIO write,
+// NCU upstream, NCU downstream, Mondo interrupt) with the message names of
+// Table 7, the three usage scenarios, the catalog of potential
+// architecture-level root causes per scenario, and the 14-bug injection
+// catalog modeled on Table 2 and the QED bug classes.
+//
+// The flow DAGs are a reconstruction: the paper does not publish its flow
+// specifications, so the flows here carry exactly the state/message counts
+// of Table 1, message names drawn from Table 7, and bit widths from the T2
+// microarchitecture where the paper quotes them (dmusiidata is 20 bits
+// with a 6-bit cputhreadid subgroup). See DESIGN.md for the substitution
+// argument.
+package opensparc
+
+import "tracescale/internal/flow"
+
+// IP block names of the T2 subset exercised by the usage scenarios.
+const (
+	NCU = "NCU" // non-cacheable unit
+	DMU = "DMU" // data management unit (PCIe side)
+	SIU = "SIU" // system interface unit
+	PEU = "PEU" // PCI-Express unit
+	CCX = "CCX" // cache crossbar
+	MCU = "MCU" // memory controller unit
+)
+
+// IPs lists every IP of the model.
+func IPs() []string { return []string{NCU, DMU, SIU, PEU, CCX, MCU} }
+
+// Message names (m1..m16 in Table-5 order).
+const (
+	MsgPIORReq      = "piorreq"      // m1: NCU -> DMU PIO read request
+	MsgDMUPEUReq    = "dmupeureq"    // m2: DMU -> PEU read command
+	MsgPEUDMUData   = "peudmudata"   // m3: PEU -> DMU read return
+	MsgDMUSIIRd     = "dmusiird"     // m4: DMU -> SIU read completion (36 bits, > buffer)
+	MsgSIINCU       = "siincu"       // m5: SIU -> NCU forward (shared by PIOR and Mondo)
+	MsgPIOWReq      = "piowreq"      // m6: NCU -> DMU PIO write request
+	MsgPIOWCrd      = "piowcrd"      // m7: DMU -> NCU PIO write credit return
+	MsgMCUNCUData   = "mcuncudata"   // m8: MCU -> NCU read data
+	MsgNCUCPXReq    = "ncucpxreq"    // m9: NCU -> CCX upstream request
+	MsgNCUCPXData   = "ncucpxdata"   // m10: NCU -> CCX upstream payload (40 bits, > buffer)
+	MsgCPXNCUReq    = "cpxncureq"    // m11: CCX -> NCU downstream CPU request
+	MsgNCUMCURd     = "ncumcurd"     // m12: NCU -> MCU read command
+	MsgReqTot       = "reqtot"       // m13: DMU -> SIU Mondo transfer request
+	MsgGrant        = "grant"        // m14: SIU -> DMU Mondo transfer grant
+	MsgDMUSIIData   = "dmusiidata"   // m15: DMU -> SIU Mondo payload (20 bits)
+	MsgMondoAckNack = "mondoacknack" // m16: NCU -> DMU Mondo ack/nack
+)
+
+// Subgroup names used by trace-buffer packing (Step 3).
+const (
+	GrpCPUThreadID = "cputhreadid" // 6-bit CPU/thread id inside dmusiidata
+	GrpIntVec      = "intvec"      // 7-bit interrupt vector inside dmusiidata
+	GrpRdTag       = "rdtag"       // 8-bit tag inside dmusiird
+	GrpRdStat      = "rdstat"      // 2-bit status inside dmusiird
+	GrpIntHdr      = "inthdr"      // 9-bit header inside ncucpxdata
+	GrpIntPay      = "intpay"      // 13-bit payload slice inside ncucpxdata
+	GrpMondoStat   = "mondostat"   // 4-bit status inside dmusiidata
+	GrpMCUEcc      = "mcuecc"      // 5-bit ECC syndrome inside mcuncudata
+	GrpMCUTag      = "mcutag"      // 7-bit return tag inside mcuncudata
+)
+
+// Messages returns the full T2 message catalog (16 distinct messages) in
+// Table-5 order m1..m16.
+func Messages() []flow.Message {
+	return []flow.Message{
+		{Name: MsgPIORReq, Width: 11, Src: NCU, Dst: DMU},
+		{Name: MsgDMUPEUReq, Width: 19, Src: DMU, Dst: PEU},
+		{Name: MsgPEUDMUData, Width: 19, Src: PEU, Dst: DMU},
+		{Name: MsgDMUSIIRd, Width: 36, Src: DMU, Dst: SIU, Groups: []flow.Group{
+			{Name: GrpRdTag, Width: 8},
+			{Name: GrpRdStat, Width: 2},
+		}},
+		{Name: MsgSIINCU, Width: 7, Src: SIU, Dst: NCU},
+		{Name: MsgPIOWReq, Width: 18, Src: NCU, Dst: DMU},
+		{Name: MsgPIOWCrd, Width: 5, Src: DMU, Dst: NCU},
+		{Name: MsgMCUNCUData, Width: 17, Src: MCU, Dst: NCU, Groups: []flow.Group{
+			{Name: GrpMCUEcc, Width: 5},
+			{Name: GrpMCUTag, Width: 7},
+		}},
+		{Name: MsgNCUCPXReq, Width: 10, Src: NCU, Dst: CCX},
+		{Name: MsgNCUCPXData, Width: 40, Src: NCU, Dst: CCX, Groups: []flow.Group{
+			{Name: GrpIntHdr, Width: 9},
+			{Name: GrpIntPay, Width: 13},
+		}},
+		{Name: MsgCPXNCUReq, Width: 16, Src: CCX, Dst: NCU},
+		{Name: MsgNCUMCURd, Width: 8, Src: NCU, Dst: MCU},
+		{Name: MsgReqTot, Width: 4, Src: DMU, Dst: SIU},
+		{Name: MsgGrant, Width: 4, Src: SIU, Dst: DMU},
+		{Name: MsgDMUSIIData, Width: 20, Src: DMU, Dst: SIU, Groups: []flow.Group{
+			{Name: GrpCPUThreadID, Width: 6},
+			{Name: GrpIntVec, Width: 7},
+			{Name: GrpMondoStat, Width: 4},
+		}},
+		{Name: MsgMondoAckNack, Width: 2, Src: NCU, Dst: DMU},
+	}
+}
+
+func messageByName(name string) flow.Message {
+	for _, m := range Messages() {
+		if m.Name == name {
+			return m
+		}
+	}
+	panic("opensparc: unknown message " + name)
+}
+
+func buildChain(name string, states []string, msgs []string, atomic ...string) *flow.Flow {
+	b := flow.NewBuilder(name)
+	b.States(states...)
+	b.Init(states[0])
+	b.Stop(states[len(states)-1])
+	b.Atomic(atomic...)
+	for _, m := range msgs {
+		b.Message(messageByName(m))
+	}
+	b.Chain(states, msgs)
+	f, err := b.Build()
+	if err != nil {
+		panic("opensparc: invalid flow " + name + ": " + err.Error())
+	}
+	return f
+}
+
+// Flow names.
+const (
+	FlowPIOR = "PIOR" // PIO read (6 states, 5 messages)
+	FlowPIOW = "PIOW" // PIO write (3 states, 2 messages)
+	FlowNCUU = "NCUU" // NCU upstream (4 states, 3 messages)
+	FlowNCUD = "NCUD" // NCU downstream (3 states, 2 messages)
+	FlowMon  = "Mon"  // Mondo interrupt (6 states, 5 messages)
+)
+
+// PIOR is the programmed-IO read flow: the NCU issues a read that the DMU
+// carries out over the PEU, with the completion returning through the SIU.
+func PIOR() *flow.Flow {
+	return buildChain(FlowPIOR,
+		[]string{"PInit", "PReq", "PPeu", "PData", "PSiu", "PDone"},
+		[]string{MsgPIORReq, MsgDMUPEUReq, MsgPEUDMUData, MsgDMUSIIRd, MsgSIINCU})
+}
+
+// PIOW is the programmed-IO write flow: posted write plus credit return.
+func PIOW() *flow.Flow {
+	return buildChain(FlowPIOW,
+		[]string{"WInit", "WReq", "WDone"},
+		[]string{MsgPIOWReq, MsgPIOWCrd})
+}
+
+// NCUU is the NCU upstream flow: memory data returning through the NCU to
+// the cache crossbar.
+func NCUU() *flow.Flow {
+	return buildChain(FlowNCUU,
+		[]string{"UInit", "UData", "UReq", "UDone"},
+		[]string{MsgMCUNCUData, MsgNCUCPXReq, MsgNCUCPXData})
+}
+
+// NCUD is the NCU downstream flow: a CPU request crossing the crossbar to
+// the NCU and on to the memory controller.
+func NCUD() *flow.Flow {
+	return buildChain(FlowNCUD,
+		[]string{"DInit", "DReq", "DDone"},
+		[]string{MsgCPXNCUReq, MsgNCUMCURd})
+}
+
+// Mon is the Mondo interrupt flow: the DMU arbitrates for the SIU data
+// path (the granted state is atomic — the DMU holds the SII until the
+// payload is pushed), forwards the Mondo payload to the NCU, and receives
+// the ack/nack. This is the flow of the paper's §5.7 case study.
+func Mon() *flow.Flow {
+	return buildChain(FlowMon,
+		[]string{"MInit", "MReq", "MGrant", "MData", "MNcu", "MDone"},
+		[]string{MsgReqTot, MsgGrant, MsgDMUSIIData, MsgSIINCU, MsgMondoAckNack},
+		"MGrant")
+}
+
+// Flows returns the five-protocol catalog keyed by flow name.
+func Flows() map[string]*flow.Flow {
+	return map[string]*flow.Flow{
+		FlowPIOR: PIOR(),
+		FlowPIOW: PIOW(),
+		FlowNCUU: NCUU(),
+		FlowNCUD: NCUD(),
+		FlowMon:  Mon(),
+	}
+}

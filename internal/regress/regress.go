@@ -1,0 +1,177 @@
+// Package regress is the regression environment of the evaluation's §4:
+// the analog of the fc1_all_T2 testbench suite the paper drives its
+// experiments with. Each test exercises two or more IPs through one or
+// more protocol flows, runs the transaction-level simulator, and checks
+// structural invariants — completion counts, per-flow message
+// conservation, and minimum traffic volume — so that injected bugs
+// surface as regressions exactly the way they do in a real flow.
+package regress
+
+import (
+	"fmt"
+	"sort"
+
+	"tracescale/internal/opensparc"
+	"tracescale/internal/soc"
+)
+
+// Test is one regression test.
+type Test struct {
+	Name        string
+	Description string
+	// FlowCounts maps flow names (opensparc catalog) to the number of
+	// indexed instances launched.
+	FlowCounts map[string]int
+	// Stride is the launch stagger in cycles (default 16).
+	Stride uint64
+	// IPs are the blocks the test exercises (each test covers >= 2).
+	IPs []string
+}
+
+// Suite returns the five regression tests, mirroring the paper's "5
+// different tests from the fc1_all_T2 regression environment. Each test
+// exercises 2 or more IPs and associated flows."
+func Suite() []Test {
+	return []Test{
+		{
+			Name:        "pio_rd_basic",
+			Description: "back-to-back PIO reads through NCU, DMU, PEU, SIU",
+			FlowCounts:  map[string]int{opensparc.FlowPIOR: 12},
+			IPs:         []string{opensparc.NCU, opensparc.DMU, opensparc.PEU, opensparc.SIU},
+		},
+		{
+			Name:        "pio_wr_burst",
+			Description: "a burst of posted PIO writes with credit returns",
+			FlowCounts:  map[string]int{opensparc.FlowPIOW: 32},
+			Stride:      4,
+			IPs:         []string{opensparc.NCU, opensparc.DMU},
+		},
+		{
+			Name:        "mondo_storm",
+			Description: "a storm of Mondo interrupts arbitrating for the SII",
+			FlowCounts:  map[string]int{opensparc.FlowMon: 24},
+			Stride:      6,
+			IPs:         []string{opensparc.DMU, opensparc.SIU, opensparc.NCU},
+		},
+		{
+			Name:        "ncu_updown",
+			Description: "concurrent upstream and downstream NCU traffic",
+			FlowCounts:  map[string]int{opensparc.FlowNCUU: 12, opensparc.FlowNCUD: 12},
+			IPs:         []string{opensparc.NCU, opensparc.CCX, opensparc.MCU},
+		},
+		{
+			Name:        "full_mix",
+			Description: "all five protocol flows interleaved",
+			FlowCounts: map[string]int{
+				opensparc.FlowPIOR: 10, opensparc.FlowPIOW: 10, opensparc.FlowNCUU: 10,
+				opensparc.FlowNCUD: 10, opensparc.FlowMon: 10,
+			},
+			IPs: opensparc.IPs(),
+		},
+	}
+}
+
+// TestByName returns the named regression test.
+func TestByName(name string) (Test, error) {
+	for _, t := range Suite() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Test{}, fmt.Errorf("regress: no test %q", name)
+}
+
+// Report is one regression run's outcome.
+type Report struct {
+	Test       string
+	Passed     bool
+	Violations []string
+	Events     int
+	EndCycle   uint64
+	Completed  int
+	Launched   int
+	Symptoms   []soc.Symptom
+	// MessageMix counts delivered events per message name.
+	MessageMix map[string]int
+}
+
+// Run executes one regression test with optional fault injectors. A run
+// passes when the simulator reports no symptoms and every structural
+// invariant holds.
+func Run(t Test, seed int64, injectors ...soc.Injector) (*Report, error) {
+	stride := t.Stride
+	if stride == 0 {
+		stride = 16
+	}
+	catalog := opensparc.Flows()
+	var launches []soc.Launch
+	names := make([]string, 0, len(t.FlowCounts))
+	for name := range t.FlowCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for fi, name := range names {
+		f := catalog[name]
+		if f == nil {
+			return nil, fmt.Errorf("regress: test %q references unknown flow %q", t.Name, name)
+		}
+		launches = append(launches, soc.Repeat(f, t.FlowCounts[name], 1, uint64(fi), stride)...)
+	}
+	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors})
+	if err != nil {
+		return nil, fmt.Errorf("regress: test %q: %w", t.Name, err)
+	}
+
+	rep := &Report{
+		Test:       t.Name,
+		Events:     len(res.Events),
+		EndCycle:   res.EndCycle,
+		Completed:  res.Completed,
+		Launched:   len(launches),
+		Symptoms:   res.Symptoms,
+		MessageMix: make(map[string]int),
+	}
+	for _, ev := range res.Delivered() {
+		rep.MessageMix[ev.Msg.Name]++
+	}
+
+	// Invariants.
+	if !res.Passed() {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d symptom(s), first: %s", len(res.Symptoms), res.Symptoms[0]))
+	}
+	if rep.Completed != rep.Launched {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("completed %d of %d instances", rep.Completed, rep.Launched))
+	}
+	// Message conservation: a completed linear flow instance emits each of
+	// its messages exactly once, so per-message counts must equal the
+	// summed instance counts of the flows carrying that message.
+	want := make(map[string]int)
+	for _, name := range names {
+		f := catalog[name]
+		for _, m := range f.Messages() {
+			want[m.Name] += t.FlowCounts[name]
+		}
+	}
+	if res.Passed() {
+		for m, w := range want {
+			if got := rep.MessageMix[m]; got != w {
+				rep.Violations = append(rep.Violations, fmt.Sprintf("message %s delivered %d times, want %d", m, got, w))
+			}
+		}
+	}
+	rep.Passed = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// RunSuite executes every regression test.
+func RunSuite(seed int64, injectors ...soc.Injector) ([]*Report, error) {
+	var out []*Report
+	for _, t := range Suite() {
+		rep, err := Run(t, seed, injectors...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

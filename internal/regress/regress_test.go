@@ -1,0 +1,116 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+
+	"tracescale/internal/opensparc"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d tests, want 5 (the paper's fc1 subset)", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, tc := range suite {
+		if seen[tc.Name] {
+			t.Errorf("duplicate test %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if len(tc.IPs) < 2 {
+			t.Errorf("test %q exercises %d IPs, want >= 2", tc.Name, len(tc.IPs))
+		}
+		if len(tc.FlowCounts) == 0 {
+			t.Errorf("test %q has no flows", tc.Name)
+		}
+	}
+	if _, err := TestByName("full_mix"); err != nil {
+		t.Error(err)
+	}
+	if _, err := TestByName("nosuch"); err == nil {
+		t.Error("found nonexistent test")
+	}
+}
+
+func TestSuitePassesOnGoldenDesign(t *testing.T) {
+	reports, err := RunSuite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Passed {
+			t.Errorf("%s failed: %v", r.Test, r.Violations)
+		}
+		if r.Completed != r.Launched {
+			t.Errorf("%s completed %d of %d", r.Test, r.Completed, r.Launched)
+		}
+		if r.Events == 0 || r.EndCycle == 0 {
+			t.Errorf("%s produced no traffic", r.Test)
+		}
+	}
+}
+
+func TestMessageConservation(t *testing.T) {
+	rep, err := Run(Suite()[4], 9) // full_mix
+	if err != nil {
+		t.Fatal(err)
+	}
+	// siincu is carried by PIOR and Mon: 10 + 10 occurrences.
+	if got := rep.MessageMix[opensparc.MsgSIINCU]; got != 20 {
+		t.Errorf("siincu delivered %d times, want 20", got)
+	}
+	if got := rep.MessageMix[opensparc.MsgPIOWCrd]; got != 10 {
+		t.Errorf("piowcrd delivered %d times, want 10", got)
+	}
+}
+
+// Every catalog bug, injected alone, fails at least one regression test —
+// the suite has no coverage holes for the bug model.
+func TestSuiteCatchesEveryCatalogBug(t *testing.T) {
+	for _, bug := range opensparc.Bugs() {
+		caught := false
+		var reports []*Report
+		rs, err := RunSuite(5, bug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = rs
+		for _, r := range reports {
+			if !r.Passed {
+				caught = true
+			}
+		}
+		if !caught {
+			t.Errorf("bug %d (%s on %s) slipped through the suite", bug.ID, bug.Kind, bug.Target)
+		}
+	}
+}
+
+func TestRunReportsViolationsForInjectedBug(t *testing.T) {
+	bug, err := opensparc.BugByID(33) // Mondo never generated
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Suite()[2], 5, bug) // mondo_storm
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("mondo_storm passed with the Mondo-generation bug injected")
+	}
+	joined := strings.Join(rep.Violations, "; ")
+	if !strings.Contains(joined, "symptom") {
+		t.Errorf("violations = %q, want symptom report", joined)
+	}
+	if rep.Completed == rep.Launched {
+		t.Error("all instances completed despite dropped reqtot")
+	}
+}
+
+func TestRunUnknownFlow(t *testing.T) {
+	_, err := Run(Test{Name: "bad", FlowCounts: map[string]int{"nosuch": 1}}, 1)
+	if err == nil {
+		t.Fatal("unknown flow accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package sigsel
+
+import (
+	"fmt"
+	"testing"
+
+	"tracescale/internal/netlist"
+)
+
+// testbed: an 8-deep shift register (restoration honeypot) plus four
+// isolated input-driven registers forming a bus.
+func testbed(t *testing.T) (*netlist.Netlist, []int, []int) {
+	t.Helper()
+	b := netlist.NewBuilder()
+	in := b.Input("in")
+	hidden := b.Input("hidden")
+	chain := make([]int, 8)
+	prev := in
+	for i := range chain {
+		chain[i] = b.DFF(fmt.Sprintf("chain%d", i))
+		b.Connect(chain[i], prev)
+		prev = chain[i]
+	}
+	// A second, independent chain so the greedy has two high-value picks.
+	chain2 := make([]int, 8)
+	prev = b.Input("in2")
+	for i := range chain2 {
+		chain2[i] = b.DFF(fmt.Sprintf("chainB%d", i))
+		b.Connect(chain2[i], prev)
+		prev = chain2[i]
+	}
+	chain = append(chain, chain2...)
+	bus := make([]int, 4)
+	for i := range bus {
+		bus[i] = b.DFF(fmt.Sprintf("bus%d", i))
+		// Each bus bit mixes the hidden input: unrestorable unless traced.
+		b.Connect(bus[i], b.Gate(fmt.Sprintf("bm%d", i), netlist.Xor, chain[i], hidden))
+	}
+	b.Bus("data", bus)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, chain, bus
+}
+
+func TestSigSeTPrefersRestorableChain(t *testing.T) {
+	n, chain, bus := testbed(t)
+	sel, err := SigSeT(n, SigSeTConfig{Budget: 2, Cycles: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, want 2", len(sel))
+	}
+	inChain := map[int]bool{}
+	for _, id := range chain {
+		inChain[id] = true
+	}
+	if !inChain[sel[0]] {
+		t.Errorf("first pick %s is not a chain tap", n.Name(sel[0]))
+	}
+	for _, id := range sel {
+		for _, bb := range bus {
+			if id == bb {
+				t.Errorf("SigSeT picked interface bit %s over internal state", n.Name(id))
+			}
+		}
+	}
+}
+
+func TestSigSeTBudgetClamped(t *testing.T) {
+	n, _, _ := testbed(t)
+	sel, err := SigSeT(n, SigSeTConfig{Budget: 100, Cycles: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(n.FFs()) {
+		t.Errorf("selected %d, want all %d", len(sel), len(n.FFs()))
+	}
+	seen := map[int]bool{}
+	for _, id := range sel {
+		if seen[id] {
+			t.Errorf("duplicate selection %s", n.Name(id))
+		}
+		seen[id] = true
+	}
+}
+
+func TestSigSeTErrors(t *testing.T) {
+	n, _, _ := testbed(t)
+	if _, err := SigSeT(n, SigSeTConfig{Budget: 0}); err == nil {
+		t.Error("zero budget should fail")
+	}
+	b := netlist.NewBuilder()
+	b.Input("a")
+	empty, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SigSeT(empty, SigSeTConfig{Budget: 1}); err == nil {
+		t.Error("FF-free design should fail")
+	}
+	if _, err := PRNet(empty, PRNetConfig{Budget: 1}); err == nil {
+		t.Error("FF-free design should fail")
+	}
+	if _, err := PRNet(n, PRNetConfig{Budget: 0}); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestPRNetRanksInfluentialFFs(t *testing.T) {
+	n, chain, _ := testbed(t)
+	sel, err := PRNet(n, PRNetConfig{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// Early chain taps drive the most downstream logic (rest of the chain
+	// plus the bus mixers), so they should outrank everything else under
+	// reverse-graph PageRank.
+	if sel[0] != chain[0] {
+		t.Errorf("top pick = %s, want chain0", n.Name(sel[0]))
+	}
+}
+
+func TestBusStatus(t *testing.T) {
+	n, _, bus := testbed(t)
+	if got := StatusOf(n, nil, "data"); got != None {
+		t.Errorf("empty selection = %v", got)
+	}
+	if got := StatusOf(n, bus[:2], "data"); got != Partial {
+		t.Errorf("half selection = %v", got)
+	}
+	if got := StatusOf(n, bus, "data"); got != Full {
+		t.Errorf("full selection = %v", got)
+	}
+	if got := StatusOf(n, bus, "nosuch"); got != None {
+		t.Errorf("unknown bus = %v", got)
+	}
+	if None.String() != "✗" || Partial.String() != "P" || Full.String() != "✓" || BusStatus(9).String() != "?" {
+		t.Error("BusStatus strings wrong")
+	}
+}
+
+func TestReconstructionFraction(t *testing.T) {
+	n, chain, bus := testbed(t)
+	// Tracing the whole bus reconstructs it fully.
+	full, err := ReconstructionFraction(n, bus, []string{"data"}, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 1 {
+		t.Errorf("full tracing reconstructs %.2f, want 1", full)
+	}
+	// Tracing only the chain reconstructs (almost) nothing of the bus: the
+	// hidden input blocks forward propagation.
+	none, err := ReconstructionFraction(n, chain[:2], []string{"data"}, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none > 0.1 {
+		t.Errorf("chain tracing reconstructs %.2f of the bus, want ~0", none)
+	}
+	if _, err := ReconstructionFraction(n, chain[:1], []string{"nosuch"}, 8, 1); err == nil {
+		t.Error("unknown bus should fail")
+	}
+}

@@ -1,0 +1,652 @@
+package soc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/tbuf"
+)
+
+type funcInjector func(ev Event, rng *rand.Rand) Outcome
+
+func (f funcInjector) Apply(ev Event, rng *rand.Rand) Outcome { return f(ev, rng) }
+
+func ccScenario(n int) Scenario {
+	f := flow.CacheCoherence()
+	return Scenario{Name: "cc", Launches: Repeat(f, n, 1, 0, 3)}
+}
+
+func TestRunCleanCompletes(t *testing.T) {
+	res, err := Run(ccScenario(4), Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("symptoms = %v, want none", res.Symptoms)
+	}
+	if res.Completed != 4 || res.Wedged != 0 {
+		t.Errorf("Completed/Wedged = %d/%d, want 4/0", res.Completed, res.Wedged)
+	}
+	if len(res.Events) != 12 {
+		t.Errorf("events = %d, want 12 (3 per instance)", len(res.Events))
+	}
+	if res.EndCycle == 0 {
+		t.Error("EndCycle = 0")
+	}
+	// Sequence numbers are dense and increasing.
+	for i, ev := range res.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(ccScenario(6), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ccScenario(6), Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// While an instance occupies its atomic state (after GntE, before Ack) no
+// other instance may emit: every GntE is immediately followed in the event
+// order by the same instance's Ack.
+func TestAtomicMutexSerializesGrant(t *testing.T) {
+	res, err := Run(ccScenario(8), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range res.Events {
+		if ev.Msg.Name != "GntE" {
+			continue
+		}
+		if i+1 >= len(res.Events) {
+			t.Fatalf("run ended inside atomic section of instance %d", ev.Msg.Index)
+		}
+		next := res.Events[i+1]
+		if next.Msg.Name != "Ack" || next.Msg.Index != ev.Msg.Index {
+			t.Fatalf("event after %v is %v, want %d:Ack", ev.Msg, next.Msg, ev.Msg.Index)
+		}
+	}
+}
+
+func TestOccurrenceNumbering(t *testing.T) {
+	res, err := Run(ccScenario(3), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		// Each indexed message fires exactly once per instance here.
+		if ev.Occurrence != 0 {
+			t.Errorf("%v occurrence = %d, want 0", ev.Msg, ev.Occurrence)
+		}
+	}
+}
+
+func TestDataGenPureFunction(t *testing.T) {
+	m := flow.Message{Name: "x", Width: 20}
+	a := DefaultDataGen(m, 1, 2, 99)
+	b := DefaultDataGen(m, 1, 2, 99)
+	if a != b {
+		t.Error("DefaultDataGen not deterministic")
+	}
+	if a >= 1<<20 {
+		t.Errorf("payload %d exceeds width mask", a)
+	}
+	if DefaultDataGen(m, 1, 3, 99) == a && DefaultDataGen(m, 2, 2, 99) == a {
+		t.Error("payloads suspiciously identical across coordinates")
+	}
+}
+
+func TestDropInjectorWedgesAndHangs(t *testing.T) {
+	drop := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "GntE" && ev.Msg.Index == 2 {
+			return Outcome{Drop: true, Bug: 11}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(3), Config{Seed: 5, Injectors: []Injector{drop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("run should fail")
+	}
+	if res.Wedged != 1 || res.Completed != 2 {
+		t.Errorf("Wedged/Completed = %d/%d, want 1/2", res.Wedged, res.Completed)
+	}
+	var hang *Symptom
+	for i := range res.Symptoms {
+		if res.Symptoms[i].Kind == Hang {
+			hang = &res.Symptoms[i]
+		}
+	}
+	if hang == nil {
+		t.Fatalf("no hang symptom in %v", res.Symptoms)
+	}
+	if hang.Index != 2 || hang.Msg.Name != "GntE" {
+		t.Errorf("hang = %+v, want instance 2 at GntE", hang)
+	}
+	if !strings.Contains(hang.String(), "hang") {
+		t.Errorf("String = %q", hang.String())
+	}
+	// The dropped event exists but is not delivered.
+	found := false
+	for _, ev := range res.Events {
+		if ev.Dropped {
+			found = true
+			if ev.Bug != 11 {
+				t.Errorf("dropped event bug id = %d, want 11", ev.Bug)
+			}
+		}
+	}
+	if !found {
+		t.Error("no dropped event recorded")
+	}
+	if len(res.Delivered()) != len(res.Events)-1 {
+		t.Errorf("Delivered = %d, want %d", len(res.Delivered()), len(res.Events)-1)
+	}
+}
+
+func TestCorruptInjectorCausesBadTrap(t *testing.T) {
+	corrupt := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "ReqE" && ev.Msg.Index == 1 {
+			return Outcome{XorMask: 1, Bug: 4}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(2), Config{Seed: 5, Injectors: []Injector{corrupt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Errorf("Completed = %d, want 2 (corruption does not stall)", res.Completed)
+	}
+	if len(res.Symptoms) != 1 || res.Symptoms[0].Kind != BadTrap || res.Symptoms[0].Index != 1 {
+		t.Fatalf("symptoms = %v, want one bad-trap on instance 1", res.Symptoms)
+	}
+	if !strings.Contains(res.Symptoms[0].String(), "bad-trap") {
+		t.Errorf("String = %q", res.Symptoms[0].String())
+	}
+}
+
+func TestMisrouteInjector(t *testing.T) {
+	misroute := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "Ack" && ev.Msg.Index == 1 {
+			return Outcome{Misroute: "WrongIP", Bug: 9}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(2), Config{Seed: 5, Injectors: []Injector{misroute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("misroute should cause a failure")
+	}
+	var ev *Event
+	for i := range res.Events {
+		if res.Events[i].Misrouted {
+			ev = &res.Events[i]
+		}
+	}
+	if ev == nil || ev.Dst != "WrongIP" {
+		t.Fatalf("misrouted event = %+v", ev)
+	}
+}
+
+func TestDelayInjector(t *testing.T) {
+	delay := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "ReqE" {
+			return Outcome{Delay: 100}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(1), Config{Seed: 5, Injectors: []Injector{delay}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("delay alone should not fail: %v", res.Symptoms)
+	}
+	if res.Events[0].Cycle < 100 {
+		t.Errorf("delayed event at cycle %d, want >= 100", res.Events[0].Cycle)
+	}
+}
+
+func TestGoldenVsBuggyPayloadsAgreeWhenUnaffected(t *testing.T) {
+	corrupt := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "GntE" {
+			return Outcome{XorMask: 1}
+		}
+		return Outcome{}
+	})
+	golden, err := Run(ccScenario(4), Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy, err := Run(ccScenario(4), Config{Seed: 9, Injectors: []Injector{corrupt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		m   flow.IndexedMsg
+		occ int
+	}
+	gold := make(map[key]uint64)
+	for _, ev := range golden.Events {
+		gold[key{ev.Msg, ev.Occurrence}] = ev.Data
+	}
+	for _, ev := range buggy.Events {
+		want, ok := gold[key{ev.Msg, ev.Occurrence}]
+		if !ok {
+			t.Fatalf("buggy event %v missing from golden", ev.Msg)
+		}
+		switch ev.Msg.Name {
+		case "GntE":
+			if ev.Data == want {
+				t.Errorf("%v not corrupted", ev.Msg)
+			}
+		case "Ack":
+			// Downstream of the corruption within the same instance:
+			// poisoned state propagates.
+			if ev.Data == want {
+				t.Errorf("%v not poisoned though downstream of corruption", ev.Msg)
+			}
+			if !ev.Corrupted {
+				t.Errorf("%v not flagged corrupted", ev.Msg)
+			}
+		default: // ReqE precedes the corruption
+			if ev.Data != want {
+				t.Errorf("%v payload differs though unaffected", ev.Msg)
+			}
+		}
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	f := flow.CacheCoherence()
+	sc := Scenario{Name: "late", Launches: []Launch{{Flow: f, Index: 1, Start: 1000}}}
+	res, err := Run(sc, Config{Seed: 1, MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || res.Completed != 0 {
+		t.Errorf("aborted run should hang: %+v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Scenario{}, Config{}); err == nil {
+		t.Error("empty scenario should fail")
+	}
+	f := flow.CacheCoherence()
+	sc := Scenario{Launches: []Launch{{Flow: f, Index: 1}, {Flow: f, Index: 1}}}
+	if _, err := Run(sc, Config{}); err == nil {
+		t.Error("illegal indexing should fail")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	f := flow.CacheCoherence()
+	ls := Repeat(f, 3, 5, 10, 7)
+	if len(ls) != 3 {
+		t.Fatalf("len = %d", len(ls))
+	}
+	if ls[2].Index != 7 || ls[2].Start != 24 {
+		t.Errorf("ls[2] = %+v", ls[2])
+	}
+}
+
+func TestMonitorCapturesPlannedMessagesOnly(t *testing.T) {
+	res, err := Run(ccScenario(3), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tbuf.NewCapturePlan([]tbuf.Rule{
+		{Message: "ReqE", Width: 1, Bits: 1},
+		{Message: "GntE", Width: 1, Bits: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	mon := NewMonitor(plan, tbuf.New(2, 64), &sb)
+	if err := mon.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Captured() != 6 {
+		t.Errorf("Captured = %d, want 6 (ReqE+GntE per instance)", mon.Captured())
+	}
+	for _, e := range mon.Buffer().Entries() {
+		if e.Msg.Name == "Ack" {
+			t.Errorf("Ack captured though unplanned")
+		}
+	}
+	if !strings.Contains(sb.String(), "ReqE") {
+		t.Error("trace file missing ReqE lines")
+	}
+}
+
+func TestMonitorIgnoresDroppedEvents(t *testing.T) {
+	plan, err := tbuf.NewCapturePlan([]tbuf.Rule{{Message: "ReqE", Width: 1, Bits: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(plan, tbuf.New(1, 8), nil)
+	if err := mon.Observe(Event{Msg: flow.IndexedMsg{Name: "ReqE", Index: 1}, Dropped: true}); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Captured() != 0 {
+		t.Error("dropped event captured")
+	}
+}
+
+func TestSymptomKindString(t *testing.T) {
+	if Hang.String() != "hang" || BadTrap.String() != "bad-trap" {
+		t.Error("SymptomKind strings wrong")
+	}
+	if !strings.Contains(SymptomKind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}
+
+// An instance wedged inside an atomic state holds the global mutex
+// forever: the run must detect the deadlock and hang everyone rather than
+// spin.
+func TestWedgeInsideAtomicStateDeadlocksRun(t *testing.T) {
+	dropAck := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "Ack" && ev.Msg.Index == 1 {
+			return Outcome{Drop: true, Bug: 1}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(3), Config{Seed: 4, Injectors: []Injector{dropAck}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("deadlocked run passed")
+	}
+	// Instance 1 wedges in GntW (atomic): nobody else can ever move, so
+	// any instance that hadn't finished hangs too.
+	if res.Completed == 3 {
+		t.Error("all instances completed despite a held atomic state")
+	}
+	hangs := 0
+	for _, s := range res.Symptoms {
+		if s.Kind == Hang {
+			hangs++
+		}
+	}
+	if hangs != 3-res.Completed {
+		t.Errorf("hangs = %d, want %d", hangs, 3-res.Completed)
+	}
+	// The run must terminate promptly (deadlock detection), not at
+	// MaxCycles.
+	if res.EndCycle >= 10_000_000 {
+		t.Errorf("run spun to MaxCycles (%d)", res.EndCycle)
+	}
+}
+
+func TestCreditsSerializeLink(t *testing.T) {
+	// One credit on the 1->Dir link (carrying ReqE and Ack): at most one
+	// such message may be in flight; the next must wait CreditDelay cycles
+	// past the previous delivery.
+	link := Link{Src: "1", Dst: "Dir"}
+	const delay = 6
+	res, err := Run(ccScenario(4), Config{Seed: 2, Credits: map[Link]int{link: 1}, CreditDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("credited run failed: %v", res.Symptoms)
+	}
+	var last uint64
+	first := true
+	for _, ev := range res.Events {
+		if ev.Src != "1" || ev.Dst != "Dir" {
+			continue
+		}
+		if !first && ev.Cycle < last+delay {
+			t.Fatalf("link emission at %d violates credit spacing (prev %d, delay %d)", ev.Cycle, last, delay)
+		}
+		last = ev.Cycle
+		first = false
+	}
+	if first {
+		t.Fatal("no events on the credited link")
+	}
+}
+
+func TestZeroCreditsDeadlockEverything(t *testing.T) {
+	link := Link{Src: "1", Dst: "Dir"}
+	res, err := Run(ccScenario(3), Config{Seed: 2, Credits: map[Link]int{link: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || res.Completed != 0 {
+		t.Fatalf("zero-credit run should hang everyone: %+v", res)
+	}
+	if len(res.Events) != 0 {
+		t.Errorf("events = %d, want 0 (first message needs the credit)", len(res.Events))
+	}
+}
+
+// A drop bug leaks the consumed credit: with a one-credit link, a single
+// dropped message starves every later instance of the link even though
+// only one instance wedged directly.
+func TestDroppedMessageLeaksCredit(t *testing.T) {
+	link := Link{Src: "Dir", Dst: "1"} // GntE's link
+	drop := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "GntE" && ev.Msg.Index == 1 {
+			return Outcome{Drop: true, Bug: 3}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(3), Config{
+		Seed: 2, Credits: map[Link]int{link: 1}, Injectors: []Injector{drop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Errorf("Completed = %d, want 0: the leaked GntE credit starves every grant", res.Completed)
+	}
+	if len(res.Symptoms) != 3 {
+		t.Errorf("symptoms = %d, want 3 hangs", len(res.Symptoms))
+	}
+}
+
+func TestCreditsUnconstrainedLinksUnaffected(t *testing.T) {
+	// Constraining an unused link changes nothing.
+	plain, err := Run(ccScenario(4), Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := Run(ccScenario(4), Config{
+		Seed: 11, Credits: map[Link]int{{Src: "X", Dst: "Y"}: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Events) != len(constrained.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain.Events), len(constrained.Events))
+	}
+	for i := range plain.Events {
+		if plain.Events[i] != constrained.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	drop := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "GntE" && ev.Msg.Index == 2 {
+			return Outcome{Drop: true}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(3), Config{Seed: 5, Injectors: []Injector{drop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, res, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"timeline:", "1->Dir", "Dir->1", "x", "symptoms: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation cap.
+	sb.Reset()
+	if err := WriteTimeline(&sb, res, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 of") {
+		t.Errorf("timeline cap not applied:\n%s", sb.String())
+	}
+	// Clean run renders "symptoms: none".
+	clean, err := Run(ccScenario(2), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTimeline(&sb, clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "symptoms: none") {
+		t.Errorf("clean timeline:\n%s", sb.String())
+	}
+}
+
+func TestPortsSerializeSourceIP(t *testing.T) {
+	// A single port on IP "1" (emitting ReqE and Ack): consecutive
+	// emissions from "1" must be at least PortDelay apart.
+	const delay = 5
+	res, err := Run(ccScenario(4), Config{
+		Seed:      3,
+		Ports:     map[string]int{"1": 1},
+		PortDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("ported run failed: %v", res.Symptoms)
+	}
+	var last uint64
+	first := true
+	for _, ev := range res.Events {
+		if ev.Src != "1" {
+			continue
+		}
+		if !first && ev.Cycle < last+delay {
+			t.Fatalf("emission from IP 1 at %d violates port spacing (prev %d)", ev.Cycle, last)
+		}
+		last = ev.Cycle
+		first = false
+	}
+	if first {
+		t.Fatal("no emissions from IP 1")
+	}
+}
+
+func TestPortsReleaseEvenOnDrop(t *testing.T) {
+	// Unlike credits, a dropped message does not leak the producer's port:
+	// the other instances still progress.
+	drop := funcInjector(func(ev Event, _ *rand.Rand) Outcome {
+		if ev.Msg.Name == "ReqE" && ev.Msg.Index == 1 {
+			return Outcome{Drop: true}
+		}
+		return Outcome{}
+	})
+	res, err := Run(ccScenario(3), Config{
+		Seed:      3,
+		Ports:     map[string]int{"1": 1},
+		Injectors: []Injector{drop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Errorf("Completed = %d, want 2 (only the dropped instance wedges)", res.Completed)
+	}
+}
+
+func TestMonitorTrigger(t *testing.T) {
+	res, err := Run(ccScenario(3), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tbuf.NewCapturePlan([]tbuf.Rule{
+		{Message: "ReqE", Width: 1, Bits: 1},
+		{Message: "GntE", Width: 1, Bits: 1},
+		{Message: "Ack", Width: 1, Bits: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unqualified: everything captured.
+	all := NewMonitor(plan, tbuf.New(3, 64), nil)
+	if err := all.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if all.Captured() != 9 {
+		t.Fatalf("unqualified captured %d, want 9", all.Captured())
+	}
+
+	// Armed by the first GntE, disarmed at the first Ack: a short window.
+	win := NewMonitor(plan, tbuf.New(3, 64), nil)
+	win.SetTrigger(Trigger{Start: "GntE", Stop: "Ack"})
+	if err := win.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	entries := win.Buffer().Entries()
+	if len(entries) < 2 {
+		t.Fatalf("windowed capture = %d entries", len(entries))
+	}
+	if entries[0].Msg.Name != "GntE" {
+		t.Errorf("window starts with %s, want GntE", entries[0].Msg.Name)
+	}
+	if last := entries[len(entries)-1]; last.Msg.Name != "Ack" {
+		t.Errorf("window ends with %s, want Ack", last.Msg.Name)
+	}
+	if win.Captured() >= all.Captured() {
+		t.Errorf("windowed capture %d not smaller than unqualified %d", win.Captured(), all.Captured())
+	}
+
+	// Rearming captures every GntE..Ack window: with the atomic grant
+	// section, that is exactly GntE and Ack per instance (6 entries).
+	re := NewMonitor(plan, tbuf.New(3, 64), nil)
+	re.SetTrigger(Trigger{Start: "GntE", Stop: "Ack", Rearm: true})
+	if err := re.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if re.Captured() != 6 {
+		t.Errorf("rearming capture = %d, want 6 (GntE+Ack per instance)", re.Captured())
+	}
+	for _, e := range re.Buffer().Entries() {
+		if e.Msg.Name == "ReqE" {
+			t.Error("ReqE captured outside any window")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary JSON never panics, and accepted scenarios either
+// fail Build with an error or produce legally indexed instances that
+// survive a Write/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(toy)
+	f.Add(`{"flows":[{"name":"f"}],"instances":[{"flow":"f","index":1}],"bufferWidth":1}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		insts, err := s.Build()
+		if err != nil {
+			return
+		}
+		if len(insts) == 0 {
+			t.Fatal("Build returned no instances without error")
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse: %v", err)
+		}
+		if _, err := back.Build(); err != nil {
+			t.Fatalf("re-Build: %v", err)
+		}
+	})
+}

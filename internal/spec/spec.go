@@ -1,0 +1,176 @@
+// Package spec defines the JSON interchange format for usage-scenario
+// specifications: flow DAGs, the indexed instances participating in a
+// scenario, and the trace-buffer budget. cmd/tracesel consumes this format
+// so selection can run on flows authored outside this repository —
+// the architectural collateral the paper's method leverages is exactly
+// this kind of machine-readable flow specification.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracescale/internal/flow"
+)
+
+// Group mirrors flow.Group.
+type Group struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Message mirrors flow.Message.
+type Message struct {
+	Name   string  `json:"name"`
+	Width  int     `json:"width"`
+	Src    string  `json:"src,omitempty"`
+	Dst    string  `json:"dst,omitempty"`
+	Cycles int     `json:"cycles,omitempty"`
+	Groups []Group `json:"groups,omitempty"`
+}
+
+// Edge is one transition.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Msg  string `json:"msg"`
+}
+
+// Flow is one flow DAG.
+type Flow struct {
+	Name     string    `json:"name"`
+	States   []string  `json:"states"`
+	Init     []string  `json:"init"`
+	Stop     []string  `json:"stop"`
+	Atomic   []string  `json:"atomic,omitempty"`
+	Messages []Message `json:"messages"`
+	Edges    []Edge    `json:"edges"`
+}
+
+// Instance names a participating indexed flow.
+type Instance struct {
+	Flow  string `json:"flow"`
+	Index int    `json:"index"`
+}
+
+// Scenario is a complete selection problem.
+type Scenario struct {
+	Name        string     `json:"name,omitempty"`
+	Flows       []Flow     `json:"flows"`
+	Instances   []Instance `json:"instances"`
+	BufferWidth int        `json:"bufferWidth"`
+}
+
+// Parse reads and validates a scenario from JSON.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if len(s.Flows) == 0 {
+		return nil, fmt.Errorf("spec: no flows")
+	}
+	if len(s.Instances) == 0 {
+		return nil, fmt.Errorf("spec: no instances")
+	}
+	if s.BufferWidth < 1 {
+		return nil, fmt.Errorf("spec: bufferWidth %d must be positive", s.BufferWidth)
+	}
+	return &s, nil
+}
+
+// Write serializes the scenario as indented JSON.
+func Write(w io.Writer, s *Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	return nil
+}
+
+// Build compiles the scenario's flows and returns the participating
+// instances, validating flow references and indexing.
+func (s *Scenario) Build() ([]flow.Instance, error) {
+	flows := make(map[string]*flow.Flow, len(s.Flows))
+	for _, sf := range s.Flows {
+		if _, dup := flows[sf.Name]; dup {
+			return nil, fmt.Errorf("spec: duplicate flow %q", sf.Name)
+		}
+		b := flow.NewBuilder(sf.Name)
+		b.States(sf.States...)
+		b.Init(sf.Init...)
+		b.Stop(sf.Stop...)
+		b.Atomic(sf.Atomic...)
+		for _, m := range sf.Messages {
+			groups := make([]flow.Group, len(m.Groups))
+			for i, g := range m.Groups {
+				groups[i] = flow.Group{Name: g.Name, Width: g.Width}
+			}
+			b.Message(flow.Message{Name: m.Name, Width: m.Width, Src: m.Src, Dst: m.Dst, Cycles: m.Cycles, Groups: groups})
+		}
+		for _, e := range sf.Edges {
+			b.Edge(e.From, e.To, e.Msg)
+		}
+		f, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		flows[sf.Name] = f
+	}
+	insts := make([]flow.Instance, len(s.Instances))
+	for i, in := range s.Instances {
+		f, ok := flows[in.Flow]
+		if !ok {
+			return nil, fmt.Errorf("spec: instance references unknown flow %q", in.Flow)
+		}
+		insts[i] = flow.Instance{Flow: f, Index: in.Index}
+	}
+	if !flow.LegallyIndexed(insts) {
+		return nil, fmt.Errorf("spec: instances are not legally indexed (duplicate flow/index pair)")
+	}
+	return insts, nil
+}
+
+// FromFlows converts built flows back into a serializable scenario —
+// useful for exporting the bundled models as editable specs.
+func FromFlows(name string, flows []*flow.Flow, instances []flow.Instance, bufferWidth int) *Scenario {
+	s := &Scenario{Name: name, BufferWidth: bufferWidth}
+	for _, f := range flows {
+		sf := Flow{Name: f.Name()}
+		for i := 0; i < f.NumStates(); i++ {
+			sf.States = append(sf.States, f.StateName(i))
+			if f.IsAtomic(i) {
+				sf.Atomic = append(sf.Atomic, f.StateName(i))
+			}
+		}
+		for _, s0 := range f.Init() {
+			sf.Init = append(sf.Init, f.StateName(s0))
+		}
+		for _, sp := range f.Stop() {
+			sf.Stop = append(sf.Stop, f.StateName(sp))
+		}
+		for _, m := range f.Messages() {
+			sm := Message{Name: m.Name, Width: m.Width, Src: m.Src, Dst: m.Dst, Cycles: m.Cycles}
+			for _, g := range m.Groups {
+				sm.Groups = append(sm.Groups, Group{Name: g.Name, Width: g.Width})
+			}
+			sf.Messages = append(sf.Messages, sm)
+		}
+		for _, e := range f.Edges() {
+			sf.Edges = append(sf.Edges, Edge{
+				From: f.StateName(e.From),
+				To:   f.StateName(e.To),
+				Msg:  f.Message(e.Msg).Name,
+			})
+		}
+		s.Flows = append(s.Flows, sf)
+	}
+	for _, in := range instances {
+		s.Instances = append(s.Instances, Instance{Flow: in.Flow.Name(), Index: in.Index})
+	}
+	return s
+}

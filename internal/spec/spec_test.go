@@ -1,0 +1,125 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+)
+
+const toy = `{
+  "name": "toy",
+  "bufferWidth": 2,
+  "flows": [{
+    "name": "cc",
+    "states": ["Init", "Wait", "GntW", "Done"],
+    "init": ["Init"],
+    "stop": ["Done"],
+    "atomic": ["GntW"],
+    "messages": [
+      {"name": "ReqE", "width": 1, "src": "1", "dst": "Dir"},
+      {"name": "GntE", "width": 1, "src": "Dir", "dst": "1"},
+      {"name": "Ack", "width": 1, "src": "1", "dst": "Dir"}
+    ],
+    "edges": [
+      {"from": "Init", "to": "Wait", "msg": "ReqE"},
+      {"from": "Wait", "to": "GntW", "msg": "GntE"},
+      {"from": "GntW", "to": "Done", "msg": "Ack"}
+    ]
+  }],
+  "instances": [{"flow": "cc", "index": 1}, {"flow": "cc", "index": 2}]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	s, err := Parse(strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "toy" || s.BufferWidth != 2 {
+		t.Errorf("header = %q / %d", s.Name, s.BufferWidth)
+	}
+	insts, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	f := insts[0].Flow
+	if f.NumStates() != 4 || f.NumMessages() != 3 {
+		t.Errorf("flow = (%d, %d)", f.NumStates(), f.NumMessages())
+	}
+	gntw, _ := f.StateID("GntW")
+	if !f.IsAtomic(gntw) {
+		t.Error("GntW not atomic")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"flows": [], "instances": [{"flow":"x","index":1}], "bufferWidth": 2}`,
+		`{"flows": [{"name":"f"}], "instances": [], "bufferWidth": 2}`,
+		`{"flows": [{"name":"f"}], "instances": [{"flow":"f","index":1}], "bufferWidth": 0}`,
+		`{"unknown": 1, "flows": [{"name":"f"}], "instances": [{"flow":"f","index":1}], "bufferWidth": 2}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s, err := Parse(strings.NewReader(toy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instances[0].Flow = "nosuch"
+	if _, err := s.Build(); err == nil {
+		t.Error("unknown flow reference accepted")
+	}
+	s.Instances[0].Flow = "cc"
+	s.Instances[1].Index = 1
+	if _, err := s.Build(); err == nil {
+		t.Error("illegal indexing accepted")
+	}
+	s.Instances[1].Index = 2
+	s.Flows = append(s.Flows, s.Flows[0])
+	if _, err := s.Build(); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+	s.Flows = s.Flows[:1]
+	s.Flows[0].Edges[0].Msg = "nosuch"
+	if _, err := s.Build(); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := flow.CacheCoherence()
+	insts := []flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}
+	s := FromFlows("toy", []*flow.Flow{f}, insts, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts2, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := insts2[0].Flow
+	if f2.NumStates() != f.NumStates() || f2.NumMessages() != f.NumMessages() ||
+		len(f2.Edges()) != len(f.Edges()) {
+		t.Errorf("round trip changed flow shape")
+	}
+	gntw, _ := f2.StateID("GntW")
+	if !f2.IsAtomic(gntw) {
+		t.Error("round trip lost atomicity")
+	}
+}

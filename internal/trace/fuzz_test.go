@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("@10 1:reqtot 1010\n@12 2:grant 0001\n")
+	f.Add("# comment only\n")
+	f.Add("@0 0:x 0")
+	f.Add("@18446744073709551615 -3:neg 1")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		entries, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, entries); err != nil {
+			t.Fatalf("Write after successful Parse: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse: %v\ninput: %q\nwrote: %q", err, in, buf.String())
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d vs %d", len(back), len(entries))
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				t.Fatalf("round trip changed entry %d: %+v vs %+v", i, back[i], entries[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package trace reads and writes the textual trace-file format the
+// System-Verilog-style monitors emit (one line per captured message,
+// "@cycle index:message bits"), and computes summary statistics. In the
+// post-silicon workflow this file — not the simulator's event stream — is
+// all the validator gets: debugging sessions start from a parsed trace.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/tbuf"
+)
+
+// Write renders entries one per line in the monitor format.
+func Write(w io.Writer, entries []tbuf.Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a trace file. Blank lines and #-comments are skipped.
+func Parse(r io.Reader) ([]tbuf.Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []tbuf.Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+func parseLine(line string) (tbuf.Entry, error) {
+	var e tbuf.Entry
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return e, fmt.Errorf("want 3 fields %q", line)
+	}
+	if !strings.HasPrefix(fields[0], "@") {
+		return e, fmt.Errorf("missing @cycle in %q", fields[0])
+	}
+	cyc, err := strconv.ParseUint(fields[0][1:], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad cycle: %w", err)
+	}
+	e.Cycle = cyc
+	idx, name, ok := strings.Cut(fields[1], ":")
+	if !ok {
+		return e, fmt.Errorf("missing index:message in %q", fields[1])
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return e, fmt.Errorf("bad index: %w", err)
+	}
+	if name == "" {
+		return e, fmt.Errorf("empty message name in %q", fields[1])
+	}
+	e.Msg = flow.IndexedMsg{Name: name, Index: i}
+	data, err := strconv.ParseUint(fields[2], 2, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad data bits: %w", err)
+	}
+	e.Data = data
+	e.Bits = len(fields[2])
+	return e, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Entries    int
+	FirstCycle uint64
+	LastCycle  uint64
+	// PerMessage counts entries per message name, PerIndexed per indexed
+	// message.
+	PerMessage map[string]int
+	PerIndexed map[flow.IndexedMsg]int
+}
+
+// Summarize computes trace statistics.
+func Summarize(entries []tbuf.Entry) Stats {
+	s := Stats{
+		Entries:    len(entries),
+		PerMessage: make(map[string]int),
+		PerIndexed: make(map[flow.IndexedMsg]int),
+	}
+	for i, e := range entries {
+		if i == 0 || e.Cycle < s.FirstCycle {
+			s.FirstCycle = e.Cycle
+		}
+		if e.Cycle > s.LastCycle {
+			s.LastCycle = e.Cycle
+		}
+		s.PerMessage[e.Msg.Name]++
+		s.PerIndexed[e.Msg]++
+	}
+	return s
+}
+
+// Span returns the number of cycles the trace covers.
+func (s Stats) Span() uint64 {
+	if s.Entries == 0 {
+		return 0
+	}
+	return s.LastCycle - s.FirstCycle + 1
+}
+
+// Names returns the traced message names, sorted.
+func (s Stats) Names() []string {
+	out := make([]string, 0, len(s.PerMessage))
+	for n := range s.PerMessage {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Project returns, in order, the indexed messages of one instance index —
+// the localization observation (what the tag's execution looked like
+// through the buffer).
+func Project(entries []tbuf.Entry, index int) []flow.IndexedMsg {
+	var out []flow.IndexedMsg
+	for _, e := range entries {
+		if e.Msg.Index == index {
+			out = append(out, e.Msg)
+		}
+	}
+	return out
+}

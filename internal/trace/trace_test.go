@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/tbuf"
+)
+
+func sample() []tbuf.Entry {
+	return []tbuf.Entry{
+		{Cycle: 10, Msg: flow.IndexedMsg{Name: "reqtot", Index: 1}, Data: 0b1010, Bits: 4},
+		{Cycle: 12, Msg: flow.IndexedMsg{Name: "grant", Index: 1}, Data: 0b0001, Bits: 4},
+		{Cycle: 15, Msg: flow.IndexedMsg{Name: "reqtot", Index: 2}, Data: 0b0110, Bits: 4},
+		{Cycle: 20, Msg: flow.IndexedMsg{Name: "siincu", Index: 1}, Data: 0b1, Bits: 1},
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(back) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n@5 1:m 01\n   \n# done\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Cycle != 5 || got[0].Bits != 2 || got[0].Data != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"@5 1:m",            // missing data
+		"5 1:m 01",          // missing @
+		"@x 1:m 01",         // bad cycle
+		"@5 m 01",           // missing index
+		"@5 a:m 01",         // bad index
+		"@5 1: 01",          // empty name
+		"@5 1:m 012",        // non-binary data
+		"@5 1:m 01 extra z", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("parsed %q", c)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Entries != 4 {
+		t.Errorf("Entries = %d", s.Entries)
+	}
+	if s.FirstCycle != 10 || s.LastCycle != 20 || s.Span() != 11 {
+		t.Errorf("cycle window = [%d, %d] span %d", s.FirstCycle, s.LastCycle, s.Span())
+	}
+	if s.PerMessage["reqtot"] != 2 || s.PerMessage["grant"] != 1 {
+		t.Errorf("PerMessage = %v", s.PerMessage)
+	}
+	if s.PerIndexed[flow.IndexedMsg{Name: "reqtot", Index: 2}] != 1 {
+		t.Errorf("PerIndexed = %v", s.PerIndexed)
+	}
+	if got := s.Names(); len(got) != 3 || got[0] != "grant" {
+		t.Errorf("Names = %v", got)
+	}
+	empty := Summarize(nil)
+	if empty.Span() != 0 {
+		t.Errorf("empty span = %d", empty.Span())
+	}
+}
+
+func TestProject(t *testing.T) {
+	got := Project(sample(), 1)
+	if len(got) != 3 {
+		t.Fatalf("projected %d entries", len(got))
+	}
+	if got[0].Name != "reqtot" || got[1].Name != "grant" || got[2].Name != "siincu" {
+		t.Errorf("projection = %v", got)
+	}
+	if out := Project(nil, 1); out != nil {
+		t.Errorf("Project(nil) = %v", out)
+	}
+}

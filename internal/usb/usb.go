@@ -1,0 +1,386 @@
+// Package usb provides the USB-function design used for the baseline
+// comparison (§5.4, Table 4) at both abstraction levels:
+//
+//   - a synthetic gate-level netlist with the four modules and ten
+//     interface signal buses of Table 4 (UTMI line speed, packet decoder,
+//     packet assembler, protocol engine), sized so that SRR-style
+//     restorability and PageRank centrality have real structure to latch
+//     onto (deep shift registers, counters, decode logic);
+//   - the two transaction flows of the usage scenario (token reception
+//     and data transmission), whose messages are exactly the interface
+//     buses, for the application-level selector.
+//
+// The opencores USB 2.0 RTL the paper uses is not redistributable here;
+// this reconstruction preserves what the comparison depends on: interface
+// buses that carry flow messages versus internal state that restores
+// well. See DESIGN.md.
+package usb
+
+import (
+	"fmt"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/netlist"
+)
+
+// Module names (Table 4 column 2).
+const (
+	ModUTMI      = "UTMI line speed"
+	ModDecoder   = "Packet decoder"
+	ModAssembler = "Packet assembler"
+	ModProtocol  = "Protocol engine"
+)
+
+// Interface bus names (Table 4 column 1), in table order.
+var Buses = []string{
+	"rx_data", "rx_valid",
+	"rx_data_valid", "token_valid", "rx_data_done",
+	"tx_data", "tx_valid",
+	"send_token", "token_pid_sel", "data_pid_sel",
+}
+
+// BusModule maps each interface bus to its module.
+var BusModule = map[string]string{
+	"rx_data": ModUTMI, "rx_valid": ModUTMI,
+	"rx_data_valid": ModDecoder, "token_valid": ModDecoder, "rx_data_done": ModDecoder,
+	"tx_data": ModAssembler, "tx_valid": ModAssembler,
+	"send_token": ModProtocol, "token_pid_sel": ModProtocol, "data_pid_sel": ModProtocol,
+}
+
+// Design builds the gate-level USB-function netlist.
+func Design() *netlist.Netlist {
+	b := netlist.NewBuilder()
+
+	// Primary inputs: serial stream, SE0 line state, host request, and
+	// endpoint select. Unobservable during post-silicon restoration.
+	serial := b.Input("usb_rx_serial")
+	se0 := b.Input("usb_rx_se0")
+	hostReq := b.Input("host_req")
+	ep0 := b.Input("ep_sel0")
+	ep1 := b.Input("ep_sel1")
+
+	// ---- UTMI line-speed block -------------------------------------
+	b.SetModule(ModUTMI)
+	// 16-deep receive shift register: the classic SRR honeypot — tracing
+	// one tap restores the whole chain across time.
+	rxShift := make([]int, 16)
+	for i := range rxShift {
+		rxShift[i] = b.DFF(fmt.Sprintf("rx_shift%d", i))
+	}
+	// The head samples the line through a squelch AND: restoring the
+	// chain does not hand back the raw serial stream (an AND output of 0
+	// does not justify its inputs).
+	b.Connect(rxShift[0], b.Gate("rx_squelch", netlist.And, serial,
+		b.Gate("nse0_in", netlist.Not, se0)))
+	for i := 1; i < len(rxShift); i++ {
+		b.Connect(rxShift[i], rxShift[i-1])
+	}
+	se0Reg := b.DFF("se0_reg")
+	b.Connect(se0Reg, se0)
+
+	// rx_data: parallelized receive byte, NRZI-decoded against the raw
+	// (unobservable) serial line, so it does not restore from the shift
+	// register alone — reconstructing it requires tracing it.
+	rxData := make([]int, 8)
+	for i := range rxData {
+		g := b.Gate(fmt.Sprintf("rx_data_d%d", i), netlist.Xor, rxShift[2*i], serial)
+		rxData[i] = b.DFF(fmt.Sprintf("rx_data%d", i))
+		b.Connect(rxData[i], g)
+	}
+	b.Bus("rx_data", rxData)
+	// Elasticity buffer: 8 columns, 10 deep — more internal state that
+	// restores fully from a single tap per column.
+	for col := 0; col < 8; col++ {
+		prev := -1
+		for d := 0; d < 10; d++ {
+			ff := b.DFF(fmt.Sprintf("rx_elastic%d_%d", col, d))
+			if d == 0 {
+				b.Connect(ff, rxShift[col])
+			} else {
+				b.Connect(ff, prev)
+			}
+			prev = ff
+		}
+	}
+	rxValidD := b.Gate("rx_valid_d", netlist.Xor, rxShift[15], se0)
+	rxValid := b.DFF("rx_valid")
+	b.Connect(rxValid, rxValidD)
+	b.Bus("rx_valid", []int{rxValid})
+	_ = se0Reg
+
+	// ---- Packet decoder ---------------------------------------------
+	b.SetModule(ModDecoder)
+	// PID register captures the received byte under a qualifier, so its
+	// trace justifies the receive byte only occasionally.
+	pid := make([]int, 8)
+	for i := range pid {
+		pid[i] = b.DFF(fmt.Sprintf("pid_reg%d", i))
+		b.Connect(pid[i], b.Gate(fmt.Sprintf("pid_cap%d", i), netlist.Xor, rxData[i], se0))
+	}
+	// PID complement check: a token PID is valid when the high nibble is
+	// the complement of the low nibble.
+	var checks []int
+	for i := 0; i < 4; i++ {
+		checks = append(checks, b.Gate(fmt.Sprintf("pid_chk%d", i), netlist.Xor, pid[i], pid[i+4]))
+	}
+	pidOK := b.Gate("pid_ok", netlist.And, checks[0], checks[1], checks[2], checks[3])
+
+	// CRC5 pipeline over the received byte.
+	crc := make([]int, 5)
+	for i := range crc {
+		crc[i] = b.DFF(fmt.Sprintf("crc5_%d", i))
+	}
+	// The CRC ingests data qualified by rx_valid: an unqualified XOR
+	// pipeline would hand state-restoration the receive byte for free.
+	b.Connect(crc[0], b.Gate("crc_fb", netlist.Xor, crc[4],
+		b.Gate("crc_in0", netlist.And, rxData[0], rxValid)))
+	for i := 1; i < 5; i++ {
+		b.Connect(crc[i], b.Gate(fmt.Sprintf("crc_x%d", i), netlist.Xor, crc[i-1],
+			b.Gate(fmt.Sprintf("crc_in%d", i), netlist.And, rxData[i], rxValid)))
+	}
+	crcOK := b.Gate("crc_ok", netlist.Nor, crc[0], crc[4])
+
+	rxDataValid := b.DFF("rx_data_valid")
+	b.Connect(rxDataValid, b.Gate("rx_data_valid_d", netlist.And, rxValid, pidOK))
+	b.Bus("rx_data_valid", []int{rxDataValid})
+
+	tokenValid := b.DFF("token_valid")
+	b.Connect(tokenValid, b.Gate("token_valid_d", netlist.And, pidOK, crcOK))
+	b.Bus("token_valid", []int{tokenValid})
+
+	// Byte counter driving rx_data_done.
+	cnt := make([]int, 4)
+	for i := range cnt {
+		cnt[i] = b.DFF(fmt.Sprintf("rx_cnt%d", i))
+	}
+	b.Connect(cnt[0], b.Gate("cnt_t0", netlist.Xor, cnt[0],
+		b.Gate("cnt_en", netlist.And, rxValid, serial)))
+	for i := 1; i < 4; i++ {
+		b.Connect(cnt[i], b.Gate(fmt.Sprintf("cnt_t%d", i), netlist.Xor, cnt[i], b.Gate(fmt.Sprintf("cnt_c%d", i), netlist.And, cnt[i-1], rxValid)))
+	}
+	rxDataDone := b.DFF("rx_data_done")
+	b.Connect(rxDataDone, b.Gate("rx_done_d", netlist.And, cnt[2], cnt[3]))
+	b.Bus("rx_data_done", []int{rxDataDone})
+
+	// Decoder FSM.
+	fsm := make([]int, 3)
+	for i := range fsm {
+		fsm[i] = b.DFF(fmt.Sprintf("dec_fsm%d", i))
+	}
+	b.Connect(fsm[0], b.Gate("fsm0_d", netlist.Or, tokenValid, fsm[1]))
+	b.Connect(fsm[1], b.Gate("fsm1_d", netlist.And, fsm[0], rxDataDone))
+	b.Connect(fsm[2], b.Gate("fsm2_d", netlist.Xor, fsm[0], fsm[1]))
+
+	// ---- Protocol engine ---------------------------------------------
+	b.SetModule(ModProtocol)
+	hostReqReg := b.DFF("host_req_reg")
+	b.Connect(hostReqReg, hostReq)
+	sendToken := b.DFF("send_token")
+	b.Connect(sendToken, b.Gate("send_token_d", netlist.And, tokenValid, hostReqReg))
+	b.Bus("send_token", []int{sendToken})
+
+	epReg := make([]int, 2)
+	for i, in := range []int{ep0, ep1} {
+		epReg[i] = b.DFF(fmt.Sprintf("ep_reg%d", i))
+		b.Connect(epReg[i], in)
+	}
+	tokenPidSel := make([]int, 2)
+	for i := range tokenPidSel {
+		tokenPidSel[i] = b.DFF(fmt.Sprintf("token_pid_sel%d", i))
+		b.Connect(tokenPidSel[i], b.Gate(fmt.Sprintf("tps_d%d", i), netlist.And, fsm[i], epReg[i]))
+	}
+	b.Bus("token_pid_sel", tokenPidSel)
+
+	toggle := b.DFF("data_toggle")
+	b.Connect(toggle, b.Gate("toggle_d", netlist.Xor, toggle,
+		b.Gate("toggle_en", netlist.And, sendToken, hostReq)))
+	dataPidSel := make([]int, 2)
+	for i := range dataPidSel {
+		dataPidSel[i] = b.DFF(fmt.Sprintf("data_pid_sel%d", i))
+		b.Connect(dataPidSel[i], b.Gate(fmt.Sprintf("dps_d%d", i), netlist.Xor, tokenPidSel[i], toggle))
+	}
+	b.Bus("data_pid_sel", dataPidSel)
+
+	// Interval timer (autonomous ripple counter).
+	timer := make([]int, 6)
+	for i := range timer {
+		timer[i] = b.DFF(fmt.Sprintf("pe_timer%d", i))
+	}
+	one := b.Gate("pe_one", netlist.Const1)
+	carry := one
+	for i := 0; i < 6; i++ {
+		b.Connect(timer[i], b.Gate(fmt.Sprintf("pe_t%d", i), netlist.Xor, timer[i], carry))
+		if i < 5 {
+			carry = b.Gate(fmt.Sprintf("pe_carry%d", i), netlist.And, timer[i], carry)
+		}
+	}
+
+	// 11-bit SOF frame counter (autonomous ripple counter).
+	frame := make([]int, 11)
+	for i := range frame {
+		frame[i] = b.DFF(fmt.Sprintf("pe_frame%d", i))
+	}
+	fcarry := one
+	for i := 0; i < 11; i++ {
+		b.Connect(frame[i], b.Gate(fmt.Sprintf("pe_f%d", i), netlist.Xor, frame[i], fcarry))
+		if i < 10 {
+			fcarry = b.Gate(fmt.Sprintf("pe_fcarry%d", i), netlist.And, frame[i], fcarry)
+		}
+	}
+
+	// Endpoint state register file: 8 endpoints × 8 bits, toggled under an
+	// (unobservable) endpoint-select decode — a large state block whose
+	// values restoration cannot reach without tracing them directly.
+	nep0 := b.Gate("nep0", netlist.Not, ep0)
+	nep1 := b.Gate("nep1", netlist.Not, ep1)
+	epDec := []int{
+		b.Gate("ep_dec0", netlist.And, nep0, nep1),
+		b.Gate("ep_dec1", netlist.And, ep0, nep1),
+		b.Gate("ep_dec2", netlist.And, nep0, ep1),
+		b.Gate("ep_dec3", netlist.And, ep0, ep1),
+	}
+	for e := 0; e < 8; e++ {
+		for i := 0; i < 8; i++ {
+			ff := b.DFF(fmt.Sprintf("ep_state%d_%d", e, i))
+			b.Connect(ff, b.Gate(fmt.Sprintf("ep_st_d%d_%d", e, i), netlist.Xor, ff,
+				b.Gate(fmt.Sprintf("ep_st_en%d_%d", e, i), netlist.And, epDec[e%4], pid[i])))
+		}
+	}
+
+	// ---- Packet assembler --------------------------------------------
+	b.SetModule(ModAssembler)
+	txData := make([]int, 8)
+	for i := range txData {
+		txData[i] = b.DFF(fmt.Sprintf("tx_data%d", i))
+		b.Connect(txData[i], b.Gate(fmt.Sprintf("txd_d%d", i), netlist.Xor, pid[i], dataPidSel[i%2]))
+	}
+	b.Bus("tx_data", txData)
+
+	// 16-deep transmit shift register (another restoration honeypot).
+	txShift := make([]int, 16)
+	for i := range txShift {
+		txShift[i] = b.DFF(fmt.Sprintf("tx_shift%d", i))
+	}
+	// Head gated by the (unobservable) host request so chain restoration
+	// does not reveal tx_data.
+	b.Connect(txShift[0], b.Gate("tx_gate", netlist.And, txData[0], hostReq))
+	for i := 1; i < len(txShift); i++ {
+		b.Connect(txShift[i], txShift[i-1])
+	}
+	txValid := b.DFF("tx_valid")
+	b.Connect(txValid, b.Gate("tx_valid_d", netlist.And, sendToken, txShift[15]))
+	b.Bus("tx_valid", []int{txValid})
+
+	// Transmit data FIFO: 16 columns × 12 deep, shifting — deep restorable
+	// state that rewards tracing one flip-flop per column.
+	var fifoPrev []int
+	for j := 0; j < 12; j++ {
+		row := make([]int, 16)
+		for i := 0; i < 16; i++ {
+			row[i] = b.DFF(fmt.Sprintf("fifo%d_%d", j, i))
+			if j == 0 {
+				b.Connect(row[i], b.Gate(fmt.Sprintf("fifo_in%d", i), netlist.And, txData[i%8], txValid))
+			} else {
+				b.Connect(row[i], fifoPrev[i])
+			}
+		}
+		fifoPrev = row
+	}
+
+	// Retry buffer: 4 columns × 10 deep holding the last handshake window.
+	for col := 0; col < 4; col++ {
+		prev := -1
+		for d := 0; d < 10; d++ {
+			ff := b.DFF(fmt.Sprintf("retry%d_%d", col, d))
+			if d == 0 {
+				b.Connect(ff, txShift[4*col])
+			} else {
+				b.Connect(ff, prev)
+			}
+			prev = ff
+		}
+	}
+
+	// CRC16 generator over the transmit byte, qualified by tx_valid.
+	crc16 := make([]int, 16)
+	for i := range crc16 {
+		crc16[i] = b.DFF(fmt.Sprintf("crc16_%d", i))
+	}
+	b.Connect(crc16[0], b.Gate("crc16_fb", netlist.Xor, crc16[15],
+		b.Gate("crc16_in0", netlist.And, txData[0], txValid)))
+	for i := 1; i < 16; i++ {
+		b.Connect(crc16[i], b.Gate(fmt.Sprintf("crc16_x%d", i), netlist.Xor, crc16[i-1],
+			b.Gate(fmt.Sprintf("crc16_in%d", i), netlist.And, txData[i%8], txValid)))
+	}
+
+	// UTMI output-enable pipeline driven by tx_valid (gives tx_valid real
+	// downstream influence).
+	b.SetModule(ModUTMI)
+	oe := make([]int, 4)
+	for i := range oe {
+		oe[i] = b.DFF(fmt.Sprintf("tx_oe%d", i))
+	}
+	b.Connect(oe[0], txValid)
+	for i := 1; i < len(oe); i++ {
+		b.Connect(oe[i], b.Gate(fmt.Sprintf("oe_g%d", i), netlist.And, oe[i-1], txValid))
+	}
+
+	n, err := b.Build()
+	if err != nil {
+		panic("usb: invalid design: " + err.Error())
+	}
+	return n
+}
+
+// messageByBus returns the flow message for an interface bus: its width is
+// the bus width, its endpoints the producing and consuming modules.
+func messageByBus(n *netlist.Netlist, bus, src, dst string) flow.Message {
+	w := len(n.Bus(bus))
+	if w == 0 {
+		panic("usb: unknown bus " + bus)
+	}
+	return flow.Message{Name: bus, Width: w, Src: src, Dst: dst}
+}
+
+// TokenRX is the token-reception flow: the UTMI parallelizes the serial
+// stream and the packet decoder validates PID and CRC before handing the
+// token to the protocol engine.
+func TokenRX(n *netlist.Netlist) *flow.Flow {
+	b := flow.NewBuilder("TokenRX")
+	b.States("R0", "R1", "R2", "R3", "R4", "R5")
+	b.Init("R0")
+	b.Stop("R5")
+	b.Message(messageByBus(n, "rx_data", ModUTMI, ModDecoder))
+	b.Message(messageByBus(n, "rx_valid", ModUTMI, ModDecoder))
+	b.Message(messageByBus(n, "rx_data_valid", ModDecoder, ModProtocol))
+	b.Message(messageByBus(n, "token_valid", ModDecoder, ModProtocol))
+	b.Message(messageByBus(n, "rx_data_done", ModDecoder, ModProtocol))
+	b.Chain([]string{"R0", "R1", "R2", "R3", "R4", "R5"},
+		[]string{"rx_data", "rx_valid", "rx_data_valid", "token_valid", "rx_data_done"})
+	f, err := b.Build()
+	if err != nil {
+		panic("usb: TokenRX flow: " + err.Error())
+	}
+	return f
+}
+
+// DataTX is the data-transmission flow: the protocol engine selects PIDs
+// and the packet assembler serializes the response.
+func DataTX(n *netlist.Netlist) *flow.Flow {
+	b := flow.NewBuilder("DataTX")
+	b.States("T0", "T1", "T2", "T3", "T4", "T5")
+	b.Init("T0")
+	b.Stop("T5")
+	b.Message(messageByBus(n, "send_token", ModProtocol, ModAssembler))
+	b.Message(messageByBus(n, "token_pid_sel", ModProtocol, ModAssembler))
+	b.Message(messageByBus(n, "data_pid_sel", ModProtocol, ModAssembler))
+	b.Message(messageByBus(n, "tx_data", ModAssembler, ModUTMI))
+	b.Message(messageByBus(n, "tx_valid", ModAssembler, ModUTMI))
+	b.Chain([]string{"T0", "T1", "T2", "T3", "T4", "T5"},
+		[]string{"send_token", "token_pid_sel", "data_pid_sel", "tx_data", "tx_valid"})
+	f, err := b.Build()
+	if err != nil {
+		panic("usb: DataTX flow: " + err.Error())
+	}
+	return f
+}

@@ -1,0 +1,147 @@
+package usb
+
+import (
+	"bytes"
+	"testing"
+
+	"tracescale/internal/core"
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+	"tracescale/internal/netlist"
+)
+
+func TestDesignStructure(t *testing.T) {
+	n := Design()
+	if n.N() < 500 {
+		t.Errorf("netlist has %d nets; the design should be substantial", n.N())
+	}
+	if got := len(n.FFs()); got < 400 {
+		t.Errorf("flip-flops = %d, want a few hundred", got)
+	}
+	// All ten Table-4 buses exist with the right widths.
+	wantWidth := map[string]int{
+		"rx_data": 8, "rx_valid": 1, "rx_data_valid": 1, "token_valid": 1,
+		"rx_data_done": 1, "tx_data": 8, "tx_valid": 1, "send_token": 1,
+		"token_pid_sel": 2, "data_pid_sel": 2,
+	}
+	for _, bus := range Buses {
+		ids := n.Bus(bus)
+		if len(ids) != wantWidth[bus] {
+			t.Errorf("bus %s width = %d, want %d", bus, len(ids), wantWidth[bus])
+		}
+		mod := BusModule[bus]
+		for _, id := range ids {
+			if n.Module(id) != mod {
+				t.Errorf("bus %s bit %s in module %q, want %q", bus, n.Name(id), n.Module(id), mod)
+			}
+		}
+	}
+	if got := len(n.Buses()); got != 10 {
+		t.Errorf("registered buses = %d, want 10", got)
+	}
+}
+
+func TestDesignSimulates(t *testing.T) {
+	n := Design()
+	tr := netlist.Record(n, 64, 3)
+	if tr.Cycles() != 64 {
+		t.Fatalf("cycles = %d", tr.Cycles())
+	}
+	// The autonomous frame counter must actually count (toggle bit 0).
+	f0, ok := n.NetID("pe_frame0")
+	if !ok {
+		t.Fatal("pe_frame0 missing")
+	}
+	toggles := 0
+	for c := 1; c < tr.Cycles(); c++ {
+		if tr.Values[c][f0] != tr.Values[c-1][f0] {
+			toggles++
+		}
+	}
+	if toggles < 60 {
+		t.Errorf("frame counter bit toggled %d times in 63 cycles", toggles)
+	}
+}
+
+func TestFlowsMatchBuses(t *testing.T) {
+	n := Design()
+	trx := TokenRX(n)
+	dtx := DataTX(n)
+	if trx.NumStates() != 6 || trx.NumMessages() != 5 {
+		t.Errorf("TokenRX = (%d, %d)", trx.NumStates(), trx.NumMessages())
+	}
+	if dtx.NumStates() != 6 || dtx.NumMessages() != 5 {
+		t.Errorf("DataTX = (%d, %d)", dtx.NumStates(), dtx.NumMessages())
+	}
+	seen := map[string]bool{}
+	for _, f := range []*flow.Flow{trx, dtx} {
+		for _, m := range f.Messages() {
+			seen[m.Name] = true
+			if got := len(n.Bus(m.Name)); got != m.Width {
+				t.Errorf("message %s width %d != bus width %d", m.Name, m.Width, got)
+			}
+		}
+	}
+	for _, bus := range Buses {
+		if !seen[bus] {
+			t.Errorf("bus %s carried by no flow", bus)
+		}
+	}
+}
+
+// The usage scenario fits the 32-bit buffer entirely: the application-level
+// method selects every interface signal (the paper's 100% claim).
+func TestInfoGainSelectsAllInterfaceSignals(t *testing.T) {
+	n := Design()
+	p, err := interleave.New([]flow.Instance{
+		{Flow: TokenRX(n), Index: 1},
+		{Flow: DataTX(n), Index: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Select(e, core.Config{BufferWidth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 10 {
+		t.Fatalf("selected %d messages, want all 10: %v", len(res.Selected), res.Selected)
+	}
+	if res.Coverage < 0.9 {
+		t.Errorf("coverage = %.4f, want >= 0.9 (paper: 93.65%%)", res.Coverage)
+	}
+}
+
+// The full design must survive a textual netlist round trip (Format ->
+// Parse) with identical structure and behavior.
+func TestDesignNetlistRoundTrip(t *testing.T) {
+	orig := Design()
+	var buf bytes.Buffer
+	if err := netlist.Format(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := netlist.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if back.N() != orig.N() || len(back.FFs()) != len(orig.FFs()) || len(back.Buses()) != len(orig.Buses()) {
+		t.Fatalf("shape changed: %d nets %d ffs %d buses vs %d/%d/%d",
+			back.N(), len(back.FFs()), len(back.Buses()), orig.N(), len(orig.FFs()), len(orig.Buses()))
+	}
+	ta := netlist.Record(orig, 32, 9)
+	tb := netlist.Record(back, 32, 9)
+	for _, bus := range Buses {
+		for i, ia := range orig.Bus(bus) {
+			ib := back.Bus(bus)[i]
+			for c := range ta.Values {
+				if ta.Values[c][ia] != tb.Values[c][ib] {
+					t.Fatalf("bus %s bit %d diverges at cycle %d", bus, i, c)
+				}
+			}
+		}
+	}
+}

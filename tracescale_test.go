@@ -1,0 +1,95 @@
+package tracescale_test
+
+import (
+	"math"
+	"testing"
+
+	"tracescale"
+)
+
+// The package-level quickstart: reproduce the paper's worked example
+// through the public facade only.
+func TestFacadePipeline(t *testing.T) {
+	f := tracescale.CacheCoherence()
+	insts := []tracescale.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}
+	if !tracescale.LegallyIndexed(insts) {
+		t.Fatal("instances should be legally indexed")
+	}
+	p, err := tracescale.Interleave(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 15 || p.NumEdges() != 18 {
+		t.Fatalf("product = %d states / %d edges, want 15/18", p.NumStates(), p.NumEdges())
+	}
+	e, err := tracescale.NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tracescale.Select(e, tracescale.Config{BufferWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 || res.Selected[0] != "ReqE" || res.Selected[1] != "GntE" {
+		t.Errorf("Selected = %v, want [ReqE GntE]", res.Selected)
+	}
+	if math.Abs(res.Gain-1.0729) > 1e-3 {
+		t.Errorf("Gain = %.4f, want 1.073", res.Gain)
+	}
+	// Localize the paper's observation.
+	traced := map[string]bool{"ReqE": true, "GntE": true}
+	observed := []tracescale.IndexedMsg{
+		{Name: "ReqE", Index: 1}, {Name: "GntE", Index: 1}, {Name: "ReqE", Index: 2},
+	}
+	loc, err := p.Localization(traced, observed, tracescale.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loc-1.0/6) > 1e-12 {
+		t.Errorf("localization = %g, want 1/6", loc)
+	}
+}
+
+func TestFacadeCustomFlowAndMethods(t *testing.T) {
+	b := tracescale.NewFlow("burst")
+	b.States("idle", "req", "done")
+	b.Init("idle")
+	b.Stop("done")
+	b.Message(tracescale.Message{Name: "req", Width: 6, Src: "A", Dst: "B", Groups: []tracescale.Group{{Name: "hdr", Width: 2}}})
+	b.Message(tracescale.Message{Name: "ack", Width: 2, Src: "B", Dst: "A"})
+	b.Edge("idle", "req", "req")
+	b.Edge("req", "done", "ack")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tracescale.Interleave([]tracescale.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tracescale.NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []tracescale.Method{tracescale.Exhaustive, tracescale.Knapsack, tracescale.Greedy} {
+		res, err := tracescale.Select(e, tracescale.Config{BufferWidth: 4, Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Width > 4 {
+			t.Errorf("%v: width %d over budget", m, res.Width)
+		}
+	}
+	// With a 4-bit buffer, ack (2) is selected and req's hdr subgroup (2)
+	// packs the leftover.
+	res, err := tracescale.Select(e, tracescale.Config{BufferWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization != 1.0 {
+		t.Errorf("utilization = %g, want 1 (ack + req.hdr)", res.Utilization)
+	}
+	if len(res.Packed) != 1 || res.Packed[0].Group != "hdr" {
+		t.Errorf("Packed = %v", res.Packed)
+	}
+}
