@@ -15,8 +15,10 @@ import (
 	"tracescale/internal/circuits"
 	"tracescale/internal/core"
 	"tracescale/internal/exp"
+	"tracescale/internal/interleave"
 	"tracescale/internal/netlist"
 	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
 	"tracescale/internal/regress"
 	"tracescale/internal/restore"
 	"tracescale/internal/sigsel"
@@ -470,6 +472,83 @@ func BenchmarkRestoreScaling(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := restore.Restore(tr, traced); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Session layer and parallel enumeration ---------------------------
+
+// Session reuse across a buffer-width sweep: "uncached" rebuilds the
+// interleaving and evaluator for every width (the pre-Session pipeline);
+// "session" pays for the analysis once per scenario and reruns only
+// Steps 1-3 per budget.
+func BenchmarkSessionReuse(b *testing.B) {
+	s, err := opensparc.ScenarioByID(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	widths := []int{8, 16, 24, 32, 48, 64}
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, w := range widths {
+				p, err := interleave.New(s.Instances())
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := core.NewEvaluator(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Select(e, core.Config{BufferWidth: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := pipeline.NewCache()
+			for _, w := range widths {
+				ses, err := c.Session(s.Instances())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ses.Select(core.Config{BufferWidth: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// Exhaustive enumeration over a ~2^20-mask synthetic workload, serial vs
+// sharded across GOMAXPROCS workers. The two paths produce byte-identical
+// Results (see internal/core's property tests); this measures the
+// wall-clock difference only.
+func BenchmarkSelectExhaustiveParallel(b *testing.B) {
+	insts, err := synth.Scenario(1, synth.Params{States: 21, MaxWidth: 6}, rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := interleave.New(insts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEvaluator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Select(e, core.Config{BufferWidth: 40, Workers: v.workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -35,6 +35,7 @@ func main() {
 		curves   = flag.Bool("curves", false, "run the localization-narrowing and selection-baseline studies")
 		scaling  = flag.Bool("scaling", false, "time app-level selection vs gate-level SRR selection")
 		depth    = flag.Bool("depth", false, "run the buffer-depth (wraparound) study")
+		cacheS   = flag.Bool("cache-stats", false, "print session-cache hit/miss counters after the run")
 	)
 	flag.Parse()
 
@@ -45,6 +46,14 @@ func main() {
 		}
 	}
 	w := os.Stdout
+	if *cacheS {
+		// The Session cache is shared by every experiment; the counters show
+		// how many re-interleavings the pipeline layer saved this run.
+		defer func() {
+			hits, misses := exp.CacheStats()
+			fmt.Fprintf(os.Stderr, "session cache: %d hits, %d misses\n", hits, misses)
+		}()
+	}
 
 	if *markdown {
 		run(exp.RenderMarkdown(w, *seed))

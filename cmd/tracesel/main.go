@@ -19,9 +19,9 @@ import (
 	"os"
 	"path/filepath"
 
+	"tracescale"
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
-	"tracescale/internal/interleave"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/spec"
 )
@@ -82,14 +82,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := interleave.New(insts)
+	ses, err := tracescale.NewSession(insts)
 	if err != nil {
 		fail(err)
 	}
-	e, err := core.NewEvaluator(p)
-	if err != nil {
-		fail(err)
-	}
+	p, e := ses.Product(), ses.Evaluator()
 
 	cfg := core.Config{BufferWidth: s.BufferWidth, DisablePacking: *noPack}
 	if *width > 0 {
@@ -107,7 +104,7 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
-	res, err := core.Select(e, cfg)
+	res, err := ses.Select(cfg)
 	if err != nil {
 		fail(err)
 	}

@@ -30,23 +30,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Two concurrent, legally indexed instances of the flow.
-	product, err := tracescale.Interleave([]tracescale.Instance{
+	// A Session interleaves the two concurrent, legally indexed instances
+	// and analyzes the product once; selections below are memoized per
+	// Config.
+	ses, err := tracescale.NewSession([]tracescale.Instance{
 		{Flow: f, Index: 1},
 		{Flow: f, Index: 2},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	product := ses.Product()
 	fmt.Printf("interleaved flow: %d states, %d edges, %v executions\n",
 		product.NumStates(), product.NumEdges(), product.TotalPaths())
 
 	// Select messages for a 2-bit trace buffer.
-	eval, err := tracescale.NewEvaluator(product)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := tracescale.Select(eval, tracescale.Config{BufferWidth: 2, KeepCandidates: true})
+	res, err := ses.Select(tracescale.Config{BufferWidth: 2, KeepCandidates: true})
 	if err != nil {
 		log.Fatal(err)
 	}

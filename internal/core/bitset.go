@@ -1,0 +1,46 @@
+package core
+
+import "math/bits"
+
+// bitset is a packed set of small non-negative integers (product states or
+// universe indices), one bit per member. All operations assume the operands
+// were sized for the same universe.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// or unions o into b in place.
+func (b bitset) or(o bitset) {
+	for w, v := range o {
+		b[w] |= v
+	}
+}
+
+// count returns the cardinality of b.
+func (b bitset) count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// clear empties b without reallocating.
+func (b bitset) clear() {
+	for w := range b {
+		b[w] = 0
+	}
+}
+
+// freshFrom returns |o \ b|: how many members of o are not yet in b.
+func (b bitset) freshFrom(o bitset) int {
+	c := 0
+	for w, v := range o {
+		c += bits.OnesCount64(v &^ b[w])
+	}
+	return c
+}

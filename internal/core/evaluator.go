@@ -10,7 +10,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"tracescale/internal/flow"
 	"tracescale/internal/info"
@@ -26,7 +25,8 @@ type Evaluator struct {
 	universe  []flow.Message // distinct messages across all instances, in first-appearance order
 	byName    map[string]int // name -> index into universe
 	gainOf    []float64      // per-universe-message gain contribution (additive)
-	visibleOf [][]int        // per-universe-message sorted visible product states
+	visibleOf []bitset       // per-universe-message visible product states, packed
+	widthOf   []int          // per-universe-message trace width (cached TraceWidth)
 	totalOcc  int
 }
 
@@ -68,10 +68,11 @@ func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
 	// universe message's contribution (summing over its indices).
 	px := 1.0 / float64(p.NumStates())
 	e.gainOf = make([]float64, len(e.universe))
-	e.visibleOf = make([][]int, len(e.universe))
-	visSets := make([]map[int]bool, len(e.universe))
-	for i := range visSets {
-		visSets[i] = make(map[int]bool)
+	e.visibleOf = make([]bitset, len(e.universe))
+	e.widthOf = make([]int, len(e.universe))
+	for i, m := range e.universe {
+		e.visibleOf[i] = newBitset(p.NumStates())
+		e.widthOf[i] = m.TraceWidth()
 	}
 	for im, st := range stats {
 		i, ok := e.byName[im.Name]
@@ -83,17 +84,9 @@ func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
 		for x, c := range st.Targets {
 			pxy := py * float64(c) / float64(st.Count)
 			acc.Add(pxy, px, py)
-			visSets[i][x] = true
+			e.visibleOf[i].set(x)
 		}
 		e.gainOf[i] += acc.Value()
-	}
-	for i, set := range visSets {
-		states := make([]int, 0, len(set))
-		for x := range set {
-			states = append(states, x)
-		}
-		sort.Ints(states)
-		e.visibleOf[i] = states
 	}
 	return e, nil
 }
@@ -153,13 +146,11 @@ func (e *Evaluator) Coverage(names []string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	seen := make(map[int]bool)
+	seen := newBitset(e.p.NumStates())
 	for _, i := range idx {
-		for _, x := range e.visibleOf[i] {
-			seen[x] = true
-		}
+		seen.or(e.visibleOf[i])
 	}
-	return float64(len(seen)) / float64(e.p.NumStates()), nil
+	return float64(seen.count()) / float64(e.p.NumStates()), nil
 }
 
 // Width returns the summed per-cycle trace width of the combination

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Method selects the Step-2 search strategy.
@@ -59,6 +62,12 @@ type Config struct {
 	// coverage in Result.Candidates (needed for the Figure-5 correlation
 	// study). Only honored by the Exhaustive method.
 	KeepCandidates bool
+	// Workers bounds the goroutines the Exhaustive method shards its mask
+	// space across. Zero means GOMAXPROCS; one forces the serial scan.
+	// Every worker count selects a byte-identical Result: shards are merged
+	// in ascending-mask order with the same tie-breaks the serial scan
+	// applies, so parallelism never changes which candidate wins.
+	Workers int
 }
 
 // Candidate is one width-feasible message combination with its scores.
@@ -197,9 +206,87 @@ func better(a, b Candidate) bool {
 	return a.Coverage > b.Coverage+eps
 }
 
+// scored is a candidate combination identified by its enumeration mask,
+// carrying only the fields the better/tie-break predicates need. The full
+// Candidate (message names) is materialized once, for the winner, or for
+// every feasible mask when KeepCandidates asks for them.
+type scored struct {
+	mask     uint64
+	width    int
+	gain     float64
+	coverage float64
+}
+
+// betterScored is the better predicate on mask-identified candidates.
+func betterScored(a, b scored) bool {
+	const eps = 1e-12
+	if a.gain > b.gain+eps {
+		return true
+	}
+	if a.gain < b.gain-eps {
+		return false
+	}
+	return a.coverage > b.coverage+eps
+}
+
+// tieScored reports whether a and b are gain- and coverage-tied within the
+// predicate's tolerance (neither is better than the other).
+func tieScored(a, b scored) bool {
+	return !betterScored(a, b) && !betterScored(b, a)
+}
+
+// scanMasks enumerates masks in [lo, hi), keeping the incumbent-best under
+// the better predicate (ascending scan, so the lowest tied mask wins) and,
+// when keep is set, every feasible candidate in mask order. The scratch
+// bitset vis is reused across masks; found reports whether any mask in the
+// range was width-feasible.
+func (e *Evaluator) scanMasks(lo, hi uint64, budget int, keep bool) (best scored, found bool, all []Candidate) {
+	numStates := float64(e.p.NumStates())
+	vis := newBitset(e.p.NumStates())
+	for mask := lo; mask < hi; mask++ {
+		width := 0
+		for m := mask; m != 0; m &= m - 1 {
+			width += e.widthOf[bits.TrailingZeros64(m)]
+		}
+		if width > budget {
+			continue
+		}
+		gain := 0.0
+		vis.clear()
+		for m := mask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			gain += e.gainOf[i]
+			vis.or(e.visibleOf[i])
+		}
+		c := scored{mask: mask, width: width, gain: gain, coverage: float64(vis.count()) / numStates}
+		if keep {
+			all = append(all, e.candidateFromScored(c))
+		}
+		if !found || betterScored(c, best) {
+			best = c
+			found = true
+		}
+	}
+	return best, found, all
+}
+
+// candidateFromScored materializes the Candidate for a scored mask.
+func (e *Evaluator) candidateFromScored(s scored) Candidate {
+	c := Candidate{Width: s.width, Gain: s.gain, Coverage: s.coverage}
+	for m := s.mask; m != 0; m &= m - 1 {
+		c.Messages = append(c.Messages, e.universe[bits.TrailingZeros64(m)].Name)
+	}
+	return c
+}
+
 // selectExhaustive is Steps 1-2 as written in the paper: enumerate every
 // message combination with total width within the buffer, score each, keep
-// the best.
+// the best. The mask space [1, 2^n) is sharded across workers as contiguous
+// ascending ranges; per-shard incumbents are merged in shard order with the
+// serial scan's exact tie-breaks (equal-score candidates keep the lowest
+// mask), so any worker count — including one — selects a byte-identical
+// result. The lowest-mask tie-break is what reproduces the paper's choice
+// of {ReqE, GntE} among the toy example's three gain-tied pairs.
 func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) {
 	n := len(e.universe)
 	if n >= 63 {
@@ -208,52 +295,71 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 	if total := uint64(1) << n; total > uint64(cfg.MaxCandidates) {
 		return Candidate{}, nil, fmt.Errorf("core: 2^%d combinations exceed MaxCandidates=%d; use Knapsack", n, cfg.MaxCandidates)
 	}
+	end := uint64(1) << n
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		// Below ~2^16 masks the scan is microseconds; goroutine fan-out
+		// would cost more than it saves. An explicit Workers count is
+		// honored regardless (tests force the parallel path this way).
+		const minParallelMasks = 1 << 16
+		if end-1 < minParallelMasks {
+			workers = 1
+		}
+	}
+	if uint64(workers) > end-1 {
+		workers = int(end - 1)
+	}
+
 	var (
-		best  Candidate
+		best  scored
 		found bool
 		all   []Candidate
 	)
-	vis := make(map[int]bool)
-	for mask := uint64(1); mask < uint64(1)<<n; mask++ {
-		width := 0
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				width += e.universe[i].TraceWidth()
+	if workers == 1 {
+		best, found, all = e.scanMasks(1, end, cfg.BufferWidth, cfg.KeepCandidates)
+	} else {
+		type shard struct {
+			best  scored
+			found bool
+			all   []Candidate
+		}
+		shards := make([]shard, workers)
+		span := (end - 1) / uint64(workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := 1 + uint64(w)*span
+			hi := lo + span
+			if w == workers-1 {
+				hi = end
 			}
+			wg.Add(1)
+			go func(w int, lo, hi uint64) {
+				defer wg.Done()
+				s := &shards[w]
+				s.best, s.found, s.all = e.scanMasks(lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
+			}(w, lo, hi)
 		}
-		if width > cfg.BufferWidth {
-			continue
-		}
-		gain := 0.0
-		clear(vis)
-		var names []string
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				gain += e.gainOf[i]
-				for _, x := range e.visibleOf[i] {
-					vis[x] = true
-				}
-				names = append(names, e.universe[i].Name)
+		wg.Wait()
+		// Merge in ascending shard (= ascending mask) order. Strict-better
+		// replacement plus the explicit lowest-mask tie-break reproduces the
+		// serial incumbent rule even if shard order were ever perturbed.
+		for _, s := range shards {
+			if !s.found {
+				continue
 			}
-		}
-		c := Candidate{
-			Messages: names,
-			Width:    width,
-			Gain:     gain,
-			Coverage: float64(len(vis)) / float64(e.p.NumStates()),
-		}
-		if cfg.KeepCandidates {
-			all = append(all, c)
-		}
-		if !found || better(c, best) {
-			best = c
-			found = true
+			if !found || betterScored(s.best, best) ||
+				(tieScored(s.best, best) && s.best.mask < best.mask) {
+				best = s.best
+				found = true
+			}
+			all = append(all, s.all...)
 		}
 	}
 	if !found {
 		return Candidate{}, nil, fmt.Errorf("core: no message fits in a %d-bit trace buffer", cfg.BufferWidth)
 	}
-	return best, all, nil
+	return e.candidateFromScored(best), all, nil
 }
 
 // selectKnapsack solves Step 2 exactly: because gain is additive across
@@ -330,7 +436,7 @@ func selectGreedy(e *Evaluator, budget int) (Candidate, error) {
 func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
 	n := len(e.universe)
 	chosen := make([]bool, n)
-	covered := make(map[int]bool)
+	covered := newBitset(e.p.NumStates())
 	left := budget
 	any := false
 	for {
@@ -339,16 +445,11 @@ func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
 			if chosen[i] {
 				continue
 			}
-			w := e.universe[i].TraceWidth()
+			w := e.widthOf[i]
 			if w > left {
 				continue
 			}
-			fresh := 0
-			for _, x := range e.visibleOf[i] {
-				if !covered[x] {
-					fresh++
-				}
-			}
+			fresh := covered.freshFrom(e.visibleOf[i])
 			if fresh > bestNew || (fresh == bestNew && w < bestWidth) {
 				bestAt, bestNew, bestWidth = i, fresh, w
 			}
@@ -359,9 +460,7 @@ func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
 		chosen[bestAt] = true
 		left -= bestWidth
 		any = true
-		for _, x := range e.visibleOf[bestAt] {
-			covered[x] = true
-		}
+		covered.or(e.visibleOf[bestAt])
 	}
 	if !any {
 		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
@@ -371,31 +470,31 @@ func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
 
 func (e *Evaluator) candidateFromSet(chosen []bool) Candidate {
 	var c Candidate
-	vis := make(map[int]bool)
+	vis := newBitset(e.p.NumStates())
 	for i, on := range chosen {
 		if !on {
 			continue
 		}
 		c.Messages = append(c.Messages, e.universe[i].Name)
-		c.Width += e.universe[i].TraceWidth()
+		c.Width += e.widthOf[i]
 		c.Gain += e.gainOf[i]
-		for _, x := range e.visibleOf[i] {
-			vis[x] = true
-		}
+		vis.or(e.visibleOf[i])
 	}
-	c.Coverage = float64(len(vis)) / float64(e.p.NumStates())
+	c.Coverage = float64(vis.count()) / float64(e.p.NumStates())
 	return c
 }
 
-// pack is Step 3: fill the leftover buffer with subgroups of messages not
-// already selected, preferring the group whose parent message adds the
-// most gain, then (ties) the widest group so the buffer fills fastest.
-// Groups whose parent is already observable add no gain but still improve
-// utilization; they are packed last.
+// pack is Step 3: fill the leftover buffer with message subgroups,
+// preferring the group whose parent message adds the most gain, then
+// (ties) the widest group so the buffer fills fastest. Groups whose parent
+// is already observable — selected in Step 2, or reached by an earlier
+// packed group — add no gain but still improve utilization, so they remain
+// candidates with zero marginal gain and are packed last, once no
+// gain-carrying granule fits.
 func pack(e *Evaluator, budget int, res *Result) {
-	observable := make(map[string]bool, len(res.Selected))
+	observable := newBitset(len(e.universe))
 	for _, n := range res.Selected {
-		observable[n] = true
+		observable.set(e.byName[n])
 	}
 	type granule struct {
 		msgIdx int
@@ -403,9 +502,6 @@ func pack(e *Evaluator, budget int, res *Result) {
 	}
 	var granules []granule
 	for i, m := range e.universe {
-		if observable[m.Name] {
-			continue
-		}
 		for _, g := range m.Groups {
 			granules = append(granules, granule{
 				msgIdx: i,
@@ -422,7 +518,7 @@ func pack(e *Evaluator, budget int, res *Result) {
 				continue
 			}
 			marginal := 0.0
-			if !observable[gr.g.Message] {
+			if !observable.has(gr.msgIdx) {
 				marginal = e.gainOf[gr.msgIdx]
 			}
 			if bestAt < 0 || marginal > bestGain+1e-15 ||
@@ -438,6 +534,6 @@ func pack(e *Evaluator, budget int, res *Result) {
 		res.Packed = append(res.Packed, chosen.g)
 		res.Width += chosen.g.Width
 		left -= chosen.g.Width
-		observable[chosen.g.Message] = true
+		observable.set(chosen.msgIdx)
 	}
 }

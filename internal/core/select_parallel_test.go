@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+	"tracescale/internal/synth"
+)
+
+// synthEvaluator builds an evaluator over a generated flow family.
+func synthEvaluator(t testing.TB, flows, states int, branch, groupProb float64, seed int64) *Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	insts, err := synth.Scenario(flows, synth.Params{States: states, Branch: branch, MaxWidth: 8, GroupProb: groupProb}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := interleave.New(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// Parallel exhaustive enumeration must return a byte-identical Result to
+// the serial scan — Selected, Gain, Coverage, Packed, and the full
+// Candidates list in enumeration order — on random synth flow families,
+// across worker counts that do and don't divide the mask space evenly.
+func TestSelectExhaustiveParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := synthEvaluator(t, 1+rng.Intn(3), 3+rng.Intn(4), 0.4, 0.4, seed)
+		budget := 4 + rng.Intn(24)
+		serial, err := Select(e, Config{BufferWidth: budget, KeepCandidates: true, Workers: 1})
+		if err != nil {
+			// Nothing fits: the parallel path must fail identically.
+			for _, w := range []int{2, 3, 8} {
+				if _, perr := Select(e, Config{BufferWidth: budget, KeepCandidates: true, Workers: w}); perr == nil {
+					return false
+				}
+			}
+			return true
+		}
+		for _, w := range []int{2, 3, 5, 8} {
+			par, err := Select(e, Config{BufferWidth: budget, KeepCandidates: true, Workers: w})
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Logf("seed %d workers %d: serial %+v != parallel %+v", seed, w, serial, par)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's worked example must keep selecting {ReqE, GntE} — the
+// lowest-mask member of the three gain-tied pairs — under every worker
+// count (the {ReqE, GntE} tie-break of §3 survives sharding).
+func TestSelectExhaustiveParallelTieBreak(t *testing.T) {
+	f := flow.CacheCoherence()
+	p, err := interleave.New([]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 1, 2, 3, 4, 7} {
+		res, err := Select(e, Config{BufferWidth: 2, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Selected; len(got) != 2 || got[0] != "ReqE" || got[1] != "GntE" {
+			t.Errorf("workers=%d: Selected = %v, want [ReqE GntE]", w, got)
+		}
+	}
+}
+
+// A worker count far above the mask count must not deadlock or drop masks.
+func TestSelectExhaustiveMoreWorkersThanMasks(t *testing.T) {
+	e := synthEvaluator(t, 1, 3, 0, 0, 11) // 2 messages -> 3 masks
+	serial, err := Select(e, Config{BufferWidth: 16, KeepCandidates: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Select(e, Config{BufferWidth: 16, KeepCandidates: true, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("serial %+v != parallel %+v", serial, par)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	flowpkg "tracescale/internal/flow"
 	"tracescale/internal/interleave"
 	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
 )
 
 // LocalizationPoint is the path localization after observing the first k
@@ -78,23 +79,20 @@ type BaselineRow struct {
 func SelectionBaselines(seed int64) ([]BaselineRow, error) {
 	var out []BaselineRow
 	for _, s := range opensparc.Scenarios() {
-		p, err := s.Interleaving()
+		ses, err := pipeline.For(s.Instances())
 		if err != nil {
 			return nil, err
 		}
-		e, err := core.NewEvaluator(p)
-		if err != nil {
-			return nil, err
-		}
+		e := ses.Evaluator()
 		add := func(method string, c core.Candidate) {
 			out = append(out, BaselineRow{Scenario: s.Name, Method: method, Gain: c.Gain, Coverage: c.Coverage})
 		}
-		res, err := core.Select(e, core.Config{BufferWidth: BufferWidth, DisablePacking: true})
+		res, err := ses.Select(core.Config{BufferWidth: BufferWidth, DisablePacking: true})
 		if err != nil {
 			return nil, err
 		}
 		add("info-gain", core.Candidate{Gain: res.SelectedGain, Coverage: res.SelectedCoverage})
-		cov, err := core.Select(e, core.Config{BufferWidth: BufferWidth, Method: core.MaxCoverage, DisablePacking: true})
+		cov, err := ses.Select(core.Config{BufferWidth: BufferWidth, Method: core.MaxCoverage, DisablePacking: true})
 		if err != nil {
 			return nil, err
 		}
@@ -169,10 +167,11 @@ func TaggingAblation(seed int64) ([]TaggingRow, error) {
 		for i := range insts {
 			insts[i] = flowpkg.Instance{Flow: cfg.fl, Index: i + 1}
 		}
-		p, err := interleave.New(insts)
+		ses, err := pipeline.For(insts)
 		if err != nil {
 			return nil, err
 		}
+		p := ses.Product()
 		traced := make(map[string]bool)
 		for _, m := range cfg.fl.Messages() {
 			traced[m.Name] = true

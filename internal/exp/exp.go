@@ -14,6 +14,7 @@ import (
 	"tracescale/internal/inject"
 	"tracescale/internal/interleave"
 	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
 	"tracescale/internal/soc"
 )
 
@@ -32,32 +33,36 @@ const launchStride = 24
 // for one usage scenario.
 type Selection struct {
 	Scenario  opensparc.Scenario
+	Session   *pipeline.Session
 	Evaluator *core.Evaluator
 	WP        *core.Result // full pipeline (Steps 1-3)
 	WoP       *core.Result // packing disabled
 }
 
 // SelectScenario runs the selection pipeline on a usage scenario's
-// interleaved flow with the paper's 32-bit buffer.
+// interleaved flow with the paper's 32-bit buffer. The analysis goes
+// through the shared Session cache: every table, figure, and sweep that
+// touches the same scenario reuses one interleaving, one evaluator, and —
+// per Config — one selection Result.
 func SelectScenario(s opensparc.Scenario) (*Selection, error) {
-	p, err := s.Interleaving()
+	ses, err := pipeline.For(s.Instances())
 	if err != nil {
-		return nil, fmt.Errorf("exp: scenario %d interleaving: %w", s.ID, err)
+		return nil, fmt.Errorf("exp: scenario %d session: %w", s.ID, err)
 	}
-	e, err := core.NewEvaluator(p)
-	if err != nil {
-		return nil, fmt.Errorf("exp: scenario %d evaluator: %w", s.ID, err)
-	}
-	wp, err := core.Select(e, core.Config{BufferWidth: BufferWidth, KeepCandidates: true})
+	wp, err := ses.Select(core.Config{BufferWidth: BufferWidth, KeepCandidates: true})
 	if err != nil {
 		return nil, fmt.Errorf("exp: scenario %d selection: %w", s.ID, err)
 	}
-	wop, err := core.Select(e, core.Config{BufferWidth: BufferWidth, DisablePacking: true})
+	wop, err := ses.Select(core.Config{BufferWidth: BufferWidth, DisablePacking: true})
 	if err != nil {
 		return nil, fmt.Errorf("exp: scenario %d selection (WoP): %w", s.ID, err)
 	}
-	return &Selection{Scenario: s, Evaluator: e, WP: wp, WoP: wop}, nil
+	return &Selection{Scenario: s, Session: ses, Evaluator: ses.Evaluator(), WP: wp, WoP: wop}, nil
 }
+
+// CacheStats reports the shared session cache's hit/miss counters — how
+// much re-interleaving the Session layer saved an experiment run.
+func CacheStats() (hits, misses int) { return pipeline.Default.Stats() }
 
 // CaseRun is one executed case study: golden and buggy simulations, the
 // observation through the selected trace messages, and the debugging

@@ -9,6 +9,7 @@ import (
 	"tracescale/internal/circuits"
 	"tracescale/internal/core"
 	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
 	"tracescale/internal/sigsel"
 )
 
@@ -31,22 +32,21 @@ func Scaling(seed int64) ([]ScalingRow, error) {
 	var rows []ScalingRow
 
 	for _, s := range opensparc.Scenarios() {
-		p, err := s.Interleaving()
+		ses, err := pipeline.For(s.Instances())
 		if err != nil {
 			return nil, err
 		}
-		e, err := core.NewEvaluator(p)
-		if err != nil {
-			return nil, err
-		}
+		// Time the raw selector on the session's evaluator — deliberately
+		// bypassing the session's Result memo, which would otherwise report
+		// a cache lookup instead of a selection.
 		start := time.Now()
-		if _, err := core.Select(e, core.Config{BufferWidth: BufferWidth}); err != nil {
+		if _, err := core.Select(ses.Evaluator(), core.Config{BufferWidth: BufferWidth}); err != nil {
 			return nil, err
 		}
 		rows = append(rows, ScalingRow{
 			Approach: "app-level",
 			Problem:  s.Name,
-			Size:     fmt.Sprintf("%d messages, %d states", len(s.Universe()), p.NumStates()),
+			Size:     fmt.Sprintf("%d messages, %d states", len(s.Universe()), ses.Product().NumStates()),
 			Elapsed:  time.Since(start),
 		})
 	}

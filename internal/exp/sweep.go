@@ -6,9 +6,9 @@ import (
 
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
-	"tracescale/internal/interleave"
 	"tracescale/internal/netlist"
 	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
 	"tracescale/internal/restore"
 	"tracescale/internal/sigsel"
 	"tracescale/internal/usb"
@@ -33,17 +33,15 @@ func WidthSweep(scenarioID int, widths []int) ([]WidthPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.Interleaving()
-	if err != nil {
-		return nil, err
-	}
-	e, err := core.NewEvaluator(p)
+	// One Session serves every width point: the interleaving and evaluator
+	// are analyzed once, only Step 1-3 reruns per budget.
+	ses, err := pipeline.For(s.Instances())
 	if err != nil {
 		return nil, err
 	}
 	var out []WidthPoint
 	for _, w := range widths {
-		res, err := core.Select(e, core.Config{BufferWidth: w})
+		res, err := ses.Select(core.Config{BufferWidth: w})
 		if err != nil {
 			return nil, fmt.Errorf("exp: width %d: %w", w, err)
 		}
@@ -114,18 +112,18 @@ func SRRCrossover(seed int64) ([]SRRRow, error) {
 		return nil, err
 	}
 
-	p, err := interleave.New([]flow.Instance{
+	// The USB scenario's Session is shared with Table 4 (identical flow
+	// structure fingerprints the same), so the crossover study reuses that
+	// analysis and selection outright.
+	ses, err := pipeline.For([]flow.Instance{
 		{Flow: usb.TokenRX(n), Index: 1},
 		{Flow: usb.DataTX(n), Index: 1},
 	})
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.NewEvaluator(p)
-	if err != nil {
-		return nil, err
-	}
-	ours, err := core.Select(e, core.Config{BufferWidth: BufferWidth})
+	e := ses.Evaluator()
+	ours, err := ses.Select(core.Config{BufferWidth: BufferWidth})
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@ import (
 
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
-	"tracescale/internal/interleave"
+	"tracescale/internal/pipeline"
 	"tracescale/internal/sigsel"
 	"tracescale/internal/usb"
 )
@@ -54,18 +54,17 @@ func Table4(seed int64) (*Table4Result, error) {
 		return nil, fmt.Errorf("exp: PRNet: %w", err)
 	}
 
-	p, err := interleave.New([]flow.Instance{
+	// Same USB instance set as the SRR crossover study: the Session cache
+	// deduplicates the interleaving, evaluator, and selection across both.
+	ses, err := pipeline.For([]flow.Instance{
 		{Flow: usb.TokenRX(n), Index: 1},
 		{Flow: usb.DataTX(n), Index: 1},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exp: usb interleaving: %w", err)
 	}
-	e, err := core.NewEvaluator(p)
-	if err != nil {
-		return nil, err
-	}
-	ours, err := core.Select(e, core.Config{BufferWidth: BufferWidth})
+	e := ses.Evaluator()
+	ours, err := ses.Select(core.Config{BufferWidth: BufferWidth})
 	if err != nil {
 		return nil, fmt.Errorf("exp: usb selection: %w", err)
 	}

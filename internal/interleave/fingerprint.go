@@ -1,0 +1,84 @@
+package interleave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+
+	"tracescale/internal/flow"
+)
+
+// Fingerprint returns a content fingerprint of an instance set: a hex
+// digest over each instance's index and the complete structure of its flow
+// (states with their init/stop/atomic markings, messages with widths,
+// endpoints, cycle counts and subgroups, and the transition relation).
+// Two instance sets fingerprint equally iff they would interleave into the
+// same Product, regardless of whether they share *Flow pointers — the key
+// a session cache needs to reuse one analysis across independently built
+// but structurally identical scenarios.
+func Fingerprint(instances []flow.Instance) string {
+	h := sha256.New()
+	writeInt(h, len(instances))
+	for _, in := range instances {
+		writeInt(h, in.Index)
+		writeFlow(h, in.Flow)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFlow serializes a flow's structure unambiguously: every string is
+// length-prefixed and every section is count-prefixed, so no concatenation
+// of distinct flows can collide.
+func writeFlow(h hash.Hash, f *flow.Flow) {
+	writeStr(h, f.Name())
+	writeInt(h, f.NumStates())
+	for s := 0; s < f.NumStates(); s++ {
+		writeStr(h, f.StateName(s))
+		bits := 0
+		if f.IsStop(s) {
+			bits |= 1
+		}
+		if f.IsAtomic(s) {
+			bits |= 2
+		}
+		writeInt(h, bits)
+	}
+	writeInt(h, len(f.Init()))
+	for _, s := range f.Init() {
+		writeInt(h, s)
+	}
+	msgs := f.Messages()
+	writeInt(h, len(msgs))
+	for _, m := range msgs {
+		writeStr(h, m.Name)
+		writeInt(h, m.Width)
+		writeStr(h, m.Src)
+		writeStr(h, m.Dst)
+		writeInt(h, m.Cycles)
+		writeInt(h, len(m.Groups))
+		for _, g := range m.Groups {
+			writeStr(h, g.Name)
+			writeInt(h, g.Width)
+		}
+	}
+	edges := f.Edges()
+	writeInt(h, len(edges))
+	for _, e := range edges {
+		writeInt(h, e.From)
+		writeInt(h, e.To)
+		writeInt(h, e.Msg)
+	}
+}
+
+func writeInt(w io.Writer, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:])
+}
+
+func writeStr(w io.Writer, s string) {
+	writeInt(w, len(s))
+	io.WriteString(w, s)
+}

@@ -1,0 +1,146 @@
+// Package pipeline unifies the selection pipeline behind a shared, cached
+// Session layer. A Session owns one scenario's analyzed interleaving — the
+// Product of its instance set and the Evaluator precomputed over it — and
+// memoizes selection Results per Config, so that width sweeps, candidate
+// dumps, ablation curves, CLI invocations, and the public facade all reuse
+// one analysis instead of re-interleaving per data point. Sessions are
+// themselves memoized in a Cache keyed by a content fingerprint of the
+// instance set (flow structure + indices), so independently built but
+// structurally identical scenarios share the same Session.
+package pipeline
+
+import (
+	"sync"
+
+	"tracescale/internal/core"
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+)
+
+// Session is one scenario's analyzed selection pipeline: the interleaved
+// Product of its instance set, the Evaluator over it, and a memo of
+// selection Results per Config. A Session is safe for concurrent use;
+// Results it returns are shared between callers and must be treated as
+// read-only.
+type Session struct {
+	fp string
+	p  *interleave.Product
+	e  *core.Evaluator
+
+	mu      sync.Mutex
+	results map[core.Config]*core.Result
+}
+
+// NewSession analyzes the instance set: it interleaves the instances and
+// precomputes the Evaluator. The Session is not registered in any Cache;
+// use Cache.Session (or the package-level For) for memoized construction.
+func NewSession(instances []flow.Instance) (*Session, error) {
+	p, err := interleave.New(instances)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		fp:      interleave.Fingerprint(instances),
+		p:       p,
+		e:       e,
+		results: make(map[core.Config]*core.Result),
+	}, nil
+}
+
+// Fingerprint returns the content fingerprint of the session's instance
+// set — the key it is cached under.
+func (s *Session) Fingerprint() string { return s.fp }
+
+// Product returns the session's interleaved flow.
+func (s *Session) Product() *interleave.Product { return s.p }
+
+// Evaluator returns the session's precomputed evaluator.
+func (s *Session) Evaluator() *core.Evaluator { return s.e }
+
+// Select runs the selection pipeline with the given configuration,
+// memoizing the Result: repeated selections at the same Config (the same
+// buffer width, method, packing and candidate options) return the cached
+// Result. The returned Result is shared — callers must not modify it.
+func (s *Session) Select(cfg core.Config) (*core.Result, error) {
+	s.mu.Lock()
+	if res, ok := s.results[cfg]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+	// Compute outside the lock: Select only reads the evaluator, so a
+	// concurrent duplicate computation is wasteful but deterministic —
+	// both compute identical Results and the second store is idempotent.
+	res, err := core.Select(s.e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if prior, ok := s.results[cfg]; ok {
+		res = prior // keep the first stored Result so callers share one
+	} else {
+		s.results[cfg] = res
+	}
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Cache memoizes Sessions by instance-set fingerprint.
+type Cache struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	hits     int
+	misses   int
+}
+
+// NewCache returns an empty session cache.
+func NewCache() *Cache {
+	return &Cache{sessions: make(map[string]*Session)}
+}
+
+// Session returns the cached Session for the instance set, analyzing it on
+// first use. Construction holds the cache lock so concurrent requests for
+// the same scenario analyze it exactly once.
+func (c *Cache) Session(instances []flow.Instance) (*Session, error) {
+	fp := interleave.Fingerprint(instances)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[fp]; ok {
+		c.hits++
+		return s, nil
+	}
+	s, err := NewSession(instances)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.sessions[fp] = s
+	return s, nil
+}
+
+// Stats returns the cache's lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached sessions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// Default is the process-wide session cache the experiment harness, CLI
+// tools, and public facade share.
+var Default = NewCache()
+
+// For returns the Default-cached Session for the instance set.
+func For(instances []flow.Instance) (*Session, error) {
+	return Default.Session(instances)
+}

@@ -24,24 +24,31 @@
 //	... // more messages and edges
 //	f, err := b.Build()
 //
-//	product, err := tracescale.Interleave([]tracescale.Instance{
+//	session, err := tracescale.NewSession([]tracescale.Instance{
 //		{Flow: f, Index: 1},
 //		{Flow: f, Index: 2},
 //	})
-//	eval, err := tracescale.NewEvaluator(product)
-//	result, err := tracescale.Select(eval, tracescale.Config{BufferWidth: 32})
+//	result, err := session.Select(tracescale.Config{BufferWidth: 32})
 //
 // result.Selected holds the message combination to trace, result.Packed
 // the subgroups added by buffer packing, and result.Gain / result.Coverage
-// its scores. See the examples directory for complete programs, and
-// cmd/paperbench for the harness that regenerates every table and figure
-// of the paper's evaluation on the bundled OpenSPARC T2 and USB models.
+// its scores. A Session owns the scenario's interleaved flow and its
+// gain analysis, and memoizes selection Results per Config; sessions are
+// themselves cached by a content fingerprint of the instance set, so
+// repeated analyses of the same scenario (width sweeps, several tables
+// touching one workload) pay for interleaving once. The step-by-step
+// Interleave / NewEvaluator / Select functions remain for callers that
+// want explicit control. See the examples directory for complete
+// programs, and cmd/paperbench for the harness that regenerates every
+// table and figure of the paper's evaluation on the bundled OpenSPARC T2
+// and USB models.
 package tracescale
 
 import (
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
 	"tracescale/internal/interleave"
+	"tracescale/internal/pipeline"
 )
 
 // Message is a protocol message exchanged between two IPs: Width bits of
@@ -120,6 +127,11 @@ type PackedGroup = core.PackedGroup
 // Result is the outcome of the selection pipeline.
 type Result = core.Result
 
+// Session owns one scenario's analyzed interleaving — the Product and its
+// Evaluator — and memoizes selection Results per Config. Results returned
+// from a Session are shared and must be treated as read-only.
+type Session = pipeline.Session
+
 // NewFlow returns a builder for a flow with the given name.
 func NewFlow(name string) *FlowBuilder { return flow.NewBuilder(name) }
 
@@ -138,6 +150,13 @@ func NewEvaluator(p *Product) (*Evaluator, error) { return core.NewEvaluator(p) 
 // message combinations, pick the one with maximal mutual information gain,
 // and pack leftover buffer bits with message subgroups.
 func Select(e *Evaluator, cfg Config) (*Result, error) { return core.Select(e, cfg) }
+
+// NewSession returns the Session for the given instance set, building the
+// interleaved flow and its evaluator on first use. Sessions are cached
+// process-wide by a content fingerprint of the instances (flow structure
+// plus indices), so two callers that independently construct equal
+// scenarios share one analysis.
+func NewSession(instances []Instance) (*Session, error) { return pipeline.For(instances) }
 
 // CacheCoherence returns the paper's running example flow (Figure 1a),
 // useful as a starting fixture.
