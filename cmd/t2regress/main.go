@@ -6,15 +6,18 @@
 //	t2regress -bug 33         # inject the Mondo-generation bug
 //	t2regress -test full_mix  # a single test
 //	t2regress -seed 7 -v      # different schedule, per-message mix
+//	t2regress -metrics-json m.json  # dump simulator metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/regress"
 	"tracescale/internal/soc"
@@ -23,22 +26,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "t2regress:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a bad invocation: usage was already printed, exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// run executes one t2regress invocation against the given argument list,
+// writing the report to w. main is a thin exit-code shim around it, so
+// tests drive the full CLI in-process with a bytes.Buffer.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("t2regress", flag.ContinueOnError)
 	var (
-		bugID   = flag.Int("bug", 0, "inject this catalog bug (0 = golden design)")
-		name    = flag.String("test", "", "run a single named test")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		verbose = flag.Bool("v", false, "print per-message delivery counts")
-		dump    = flag.String("dump", "", "write each test's full-width trace file into this directory")
+		bugID   = fs.Int("bug", 0, "inject this catalog bug (0 = golden design)")
+		name    = fs.String("test", "", "run a single named test")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		verbose = fs.Bool("v", false, "print per-message delivery counts")
+		dump    = fs.String("dump", "", "write each test's full-width trace file into this directory")
+		metrics = fs.String("metrics-json", "", "write the observability snapshot (soc.* simulator metrics) as JSON to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 
 	var injectors []soc.Injector
 	if *bugID != 0 {
 		bug, err := opensparc.BugByID(*bugID)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("injected: %s\n\n", bug)
+		fmt.Fprintf(w, "injected: %s\n\n", bug)
 		injectors = append(injectors, bug)
 	}
 
@@ -46,18 +69,18 @@ func main() {
 	if *name != "" {
 		t, err := regress.TestByName(*name)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		rep, err := regress.Run(t, *seed, injectors...)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		reports = append(reports, rep)
 	} else {
 		var err error
 		reports, err = regress.RunSuite(*seed, injectors...)
 		if err != nil {
-			fail(err)
+			return err
 		}
 	}
 
@@ -66,13 +89,13 @@ func main() {
 		if *name != "" {
 			t, err := regress.TestByName(*name)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			tests = []regress.Test{t}
 		}
 		for _, t := range tests {
 			if err := dumpTrace(t, *seed, *dump, injectors); err != nil {
-				fail(err)
+				return err
 			}
 		}
 	}
@@ -84,10 +107,10 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("%-14s %s  %5d events  %7d cycles  %d/%d instances\n",
+		fmt.Fprintf(w, "%-14s %s  %5d events  %7d cycles  %d/%d instances\n",
 			r.Test, status, r.Events, r.EndCycle, r.Completed, r.Launched)
 		for _, v := range r.Violations {
-			fmt.Printf("    ! %s\n", v)
+			fmt.Fprintf(w, "    ! %s\n", v)
 		}
 		if *verbose {
 			names := make([]string, 0, len(r.MessageMix))
@@ -96,20 +119,23 @@ func main() {
 			}
 			sort.Strings(names)
 			for _, m := range names {
-				fmt.Printf("    %-14s %d\n", m, r.MessageMix[m])
+				fmt.Fprintf(w, "    %-14s %d\n", m, r.MessageMix[m])
 			}
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("\n%d of %d tests failed\n", failures, len(reports))
-		os.Exit(1)
+	if *metrics != "" {
+		// Write the snapshot before reporting failure: a failing regression
+		// run's simulator metrics are exactly the interesting ones.
+		if err := obs.Default.WriteFile(*metrics); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("\nall %d tests passed\n", len(reports))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "t2regress:", err)
-	os.Exit(1)
+	if failures > 0 {
+		fmt.Fprintf(w, "\n%d of %d tests failed\n", failures, len(reports))
+		return fmt.Errorf("%d of %d tests failed", failures, len(reports))
+	}
+	fmt.Fprintf(w, "\nall %d tests passed\n", len(reports))
+	return nil
 }
 
 // dumpTrace reruns a regression test and writes every delivered message at
@@ -142,7 +168,7 @@ func dumpTrace(t regress.Test, seed int64, dir string, injectors []soc.Injector)
 	if err != nil {
 		return err
 	}
-	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors})
+	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors, Obs: obs.Default})
 	if err != nil {
 		return err
 	}

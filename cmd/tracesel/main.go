@@ -6,6 +6,7 @@
 //	tracesel -spec scenario.json -method knapsack -no-pack
 //	tracesel -export-toy                    # print an example spec and exit
 //	tracesel -export-t2 1                   # export a bundled T2 scenario
+//	tracesel -spec s.json -metrics-json m.json  # dump pipeline metrics
 //
 // The spec format (JSON) describes flow DAGs, the indexed instances of the
 // scenario, and the trace-buffer width; see internal/spec. Output reports
@@ -16,75 +17,90 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"tracescale"
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
+	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/spec"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "tracesel:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a bad invocation: usage was already printed, exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// run executes one tracesel invocation against the given argument list,
+// writing all output to w. main is a thin exit-code shim around it, so
+// tests drive the full CLI in-process with a bytes.Buffer.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracesel", flag.ContinueOnError)
 	var (
-		specPath  = flag.String("spec", "", "path to the scenario spec (JSON)")
-		width     = flag.Int("width", 0, "override the trace buffer width")
-		method    = flag.String("method", "exhaustive", "selection method: exhaustive, knapsack, greedy, max-coverage")
-		noPack    = flag.Bool("no-pack", false, "disable Step-3 subgroup packing")
-		exportToy = flag.Bool("export-toy", false, "print the toy cache-coherence spec and exit")
-		exportT2  = flag.Int("export-t2", 0, "print the spec of a T2 usage scenario (1-3) and exit")
-		dotFlows  = flag.String("dot-flows", "", "write per-flow Graphviz files into this directory")
-		dotProd   = flag.String("dot-product", "", "write the interleaved flow as Graphviz to this file")
+		specPath  = fs.String("spec", "", "path to the scenario spec (JSON)")
+		width     = fs.Int("width", 0, "override the trace buffer width")
+		method    = fs.String("method", "exhaustive", "selection method: exhaustive, knapsack, greedy, max-coverage")
+		noPack    = fs.Bool("no-pack", false, "disable Step-3 subgroup packing")
+		exportToy = fs.Bool("export-toy", false, "print the toy cache-coherence spec and exit")
+		exportT2  = fs.Int("export-t2", 0, "print the spec of a T2 usage scenario (1-3) and exit")
+		dotFlows  = fs.String("dot-flows", "", "write per-flow Graphviz files into this directory")
+		dotProd   = fs.String("dot-product", "", "write the interleaved flow as Graphviz to this file")
+		metrics   = fs.String("metrics-json", "", "write the observability snapshot (interleave.*, core.*, pipeline.*) as JSON to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 
 	if *exportToy {
 		f := flow.CacheCoherence()
 		s := spec.FromFlows("toy-cache-coherence", []*flow.Flow{f},
 			[]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}, 2)
-		if err := spec.Write(os.Stdout, s); err != nil {
-			fail(err)
-		}
-		return
+		return spec.Write(w, s)
 	}
 	if *exportT2 != 0 {
 		scenario, err := opensparc.ScenarioByID(*exportT2)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		flows := scenario.Flows()
 		insts := make([]flow.Instance, len(flows))
 		for i, f := range flows {
 			insts[i] = flow.Instance{Flow: f, Index: 1}
 		}
-		s := spec.FromFlows(scenario.Name, flows, insts, 32)
-		if err := spec.Write(os.Stdout, s); err != nil {
-			fail(err)
-		}
-		return
+		return spec.Write(w, spec.FromFlows(scenario.Name, flows, insts, 32))
 	}
 	if *specPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
 	file, err := os.Open(*specPath)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer file.Close()
 	s, err := spec.Parse(file)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	insts, err := s.Build()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	ses, err := tracescale.NewSession(insts)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	p, e := ses.Product(), ses.Evaluator()
 
@@ -102,29 +118,29 @@ func main() {
 	case "max-coverage":
 		cfg.Method = core.MaxCoverage
 	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
 	res, err := ses.Select(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Printf("scenario: %s\n", s.Name)
-	fmt.Printf("interleaved flow: %d states, %d edges, %s executions\n",
+	fmt.Fprintf(w, "scenario: %s\n", s.Name)
+	fmt.Fprintf(w, "interleaved flow: %d states, %d edges, %s executions\n",
 		p.NumStates(), p.NumEdges(), p.TotalPaths())
-	fmt.Printf("buffer: %d bits, method: %s\n\n", cfg.BufferWidth, cfg.Method)
-	fmt.Printf("selected messages (%d bits):\n", res.SelectedWidth)
+	fmt.Fprintf(w, "buffer: %d bits, method: %s\n\n", cfg.BufferWidth, cfg.Method)
+	fmt.Fprintf(w, "selected messages (%d bits):\n", res.SelectedWidth)
 	for _, name := range res.Selected {
 		m, _ := e.MessageByName(name)
-		fmt.Printf("  %-20s %2d bits  %s -> %s\n", m.Name, m.Width, m.Src, m.Dst)
+		fmt.Fprintf(w, "  %-20s %2d bits  %s -> %s\n", m.Name, m.Width, m.Src, m.Dst)
 	}
 	if len(res.Packed) > 0 {
-		fmt.Println("packed subgroups:")
+		fmt.Fprintln(w, "packed subgroups:")
 		for _, g := range res.Packed {
-			fmt.Printf("  %-20s %2d bits  (of %s)\n", g.Message+"."+g.Group, g.Width, g.Message)
+			fmt.Fprintf(w, "  %-20s %2d bits  (of %s)\n", g.Message+"."+g.Group, g.Width, g.Message)
 		}
 	}
-	fmt.Printf("\nutilization: %.2f%%  gain: %.4f nats  coverage: %.2f%%\n",
+	fmt.Fprintf(w, "\nutilization: %.2f%%  gain: %.4f nats  coverage: %.2f%%\n",
 		100*res.Utilization, res.Gain, 100*res.Coverage)
 
 	if *dotFlows != "" {
@@ -136,29 +152,34 @@ func main() {
 			seen[in.Flow.Name()] = true
 			f, err := os.Create(filepath.Join(*dotFlows, in.Flow.Name()+".dot"))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if err := in.Flow.WriteDOT(f); err != nil {
-				fail(err)
+				f.Close()
+				return err
 			}
 			f.Close()
 		}
-		fmt.Printf("flow DOT files written to %s\n", *dotFlows)
+		fmt.Fprintf(w, "flow DOT files written to %s\n", *dotFlows)
 	}
 	if *dotProd != "" {
 		f, err := os.Create(*dotProd)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		defer f.Close()
 		if err := p.WriteDOT(f, nil, nil); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("interleaving DOT written to %s\n", *dotProd)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "interleaving DOT written to %s\n", *dotProd)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracesel:", err)
-	os.Exit(1)
+	if *metrics != "" {
+		// The facade session goes through pipeline.Default, which records
+		// into obs.Default — the snapshot covers this run's whole analysis.
+		return obs.Default.WriteFile(*metrics)
+	}
+	return nil
 }

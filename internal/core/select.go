@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // Method selects the Step-2 search strategy.
@@ -135,13 +139,25 @@ func (r *Result) TracedNames() []string {
 const defaultMaxCandidates = 1 << 22
 
 // Select runs the full three-step selection pipeline on the evaluator's
-// interleaved flow.
+// interleaved flow. When the evaluator's product was built with an
+// observability registry (interleave.NewObserved), Select records
+// core.select.* and core.pack.* metrics into it; instrumentation is
+// entirely skipped for unobserved evaluators so the hot path stays at the
+// uninstrumented baseline.
 func Select(e *Evaluator, cfg Config) (*Result, error) {
 	if cfg.BufferWidth < 1 {
 		return nil, fmt.Errorf("core: non-positive trace buffer width %d", cfg.BufferWidth)
 	}
 	if cfg.MaxCandidates == 0 {
 		cfg.MaxCandidates = defaultMaxCandidates
+	}
+	// The registry rides on the product (interleave.NewObserved), so the
+	// Evaluator itself — whose layout the scan loops are hot against —
+	// carries no instrumentation state.
+	reg := e.p.Obs()
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
 	}
 
 	var best Candidate
@@ -186,8 +202,26 @@ func Select(e *Evaluator, cfg Config) (*Result, error) {
 	if res.Coverage, err = e.Coverage(traced); err != nil {
 		return nil, err
 	}
+	if reg != nil {
+		wall := time.Since(start)
+		reg.Counter("core.select.runs").Inc()
+		reg.Add("core.select.wall_ns", wall.Nanoseconds())
+		reg.Histogram("core.select.wall_us", selectWallBounds).Observe(wall.Microseconds())
+		reg.Add("core.pack.packed", int64(len(res.Packed)))
+		reg.Trace().Emit("core", "select", map[string]int64{
+			"method":   int64(cfg.Method),
+			"width":    int64(cfg.BufferWidth),
+			"selected": int64(len(res.Selected)),
+			"packed":   int64(len(res.Packed)),
+			"bits":     int64(res.Width),
+		})
+	}
 	return res, nil
 }
+
+// selectWallBounds buckets core.select.wall_us: selection runs span ~µs
+// (memoized toy scenarios) to ~seconds (wide synthetic mask spaces).
+var selectWallBounds = []int64{10, 100, 1_000, 10_000, 100_000, 1_000_000}
 
 // better reports whether candidate a should replace b: strictly higher
 // gain, or equal gain with strictly higher coverage. Equal-score
@@ -239,7 +273,10 @@ func tieScored(a, b scored) bool {
 // the better predicate (ascending scan, so the lowest tied mask wins) and,
 // when keep is set, every feasible candidate in mask order. The scratch
 // bitset vis is reused across masks; found reports whether any mask in the
-// range was width-feasible.
+// range was width-feasible. The loop carries no counters beyond the
+// incumbent — even a single extra increment here is measurable — so the
+// observability layer derives the feasible-mask count arithmetically
+// (countFeasible) instead of tallying it in the scan.
 func (e *Evaluator) scanMasks(lo, hi uint64, budget int, keep bool) (best scored, found bool, all []Candidate) {
 	numStates := float64(e.p.NumStates())
 	vis := newBitset(e.p.NumStates())
@@ -268,6 +305,30 @@ func (e *Evaluator) scanMasks(lo, hi uint64, budget int, keep bool) (best scored
 		}
 	}
 	return best, found, all
+}
+
+// countFeasible returns how many nonempty message subsets have total trace
+// width within budget — the exact number of masks scanMasks scores rather
+// than prunes. Subset-sum counting over the width multiset, O(n × budget):
+// cheap enough to run per observed Select, and it keeps the enumeration
+// loop itself free of bookkeeping. The count fits int64 because exhaustive
+// enumeration is capped at MaxCandidates masks total.
+func (e *Evaluator) countFeasible(budget int) int64 {
+	dp := make([]int64, budget+1)
+	dp[0] = 1
+	for _, w := range e.widthOf {
+		if w > budget {
+			continue
+		}
+		for c := budget; c >= w; c-- {
+			dp[c] += dp[c-w]
+		}
+	}
+	var total int64
+	for _, n := range dp {
+		total += n
+	}
+	return total - 1 // the empty subset is never enumerated
 }
 
 // candidateFromScored materializes the Candidate for a scored mask.
@@ -334,11 +395,15 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 				hi = end
 			}
 			wg.Add(1)
-			go func(w int, lo, hi uint64) {
-				defer wg.Done()
-				s := &shards[w]
-				s.best, s.found, s.all = e.scanMasks(lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
-			}(w, lo, hi)
+			// pprof labels attribute CPU samples to the shard, so profiles
+			// of the selector pool show which mask ranges burn the time.
+			go pprof.Do(context.Background(),
+				pprof.Labels("tracescale.pool", "select-exhaustive", "tracescale.shard", strconv.Itoa(w)),
+				func(context.Context) {
+					defer wg.Done()
+					s := &shards[w]
+					s.best, s.found, s.all = e.scanMasks(lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
+				})
 		}
 		wg.Wait()
 		// Merge in ascending shard (= ascending mask) order. Strict-better
@@ -355,6 +420,14 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 			}
 			all = append(all, s.all...)
 		}
+	}
+	if reg := e.p.Obs(); reg != nil {
+		enumerated := int64(end - 1)
+		feasible := e.countFeasible(cfg.BufferWidth)
+		reg.Add("core.select.masks_enumerated", enumerated)
+		reg.Add("core.select.masks_feasible", feasible)
+		reg.Add("core.select.masks_pruned", enumerated-feasible)
+		reg.Gauge("core.select.workers").Set(int64(workers))
 	}
 	if !found {
 		return Candidate{}, nil, fmt.Errorf("core: no message fits in a %d-bit trace buffer", cfg.BufferWidth)
@@ -509,6 +582,7 @@ func pack(e *Evaluator, budget int, res *Result) {
 			})
 		}
 	}
+	e.p.Obs().Counter("core.pack.granules_considered").Add(int64(len(granules)))
 	left := budget - res.Width
 	for left > 0 && len(granules) > 0 {
 		bestAt := -1

@@ -13,6 +13,7 @@ import (
 	"tracescale/internal/flow"
 	"tracescale/internal/inject"
 	"tracescale/internal/interleave"
+	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/pipeline"
 	"tracescale/internal/soc"
@@ -64,6 +65,21 @@ func SelectScenario(s opensparc.Scenario) (*Selection, error) {
 // much re-interleaving the Session layer saved an experiment run.
 func CacheStats() (hits, misses int) { return pipeline.Default.Stats() }
 
+// SimulateWorkloads replays every usage scenario's workload through the
+// SoC simulator, recording soc.* metrics into the default registry. The
+// analytic experiments (Figure 5, the tables that never simulate) leave
+// the simulator counters empty; -metrics-json uses this replay so a
+// snapshot of any run still reflects real simulated traffic.
+func SimulateWorkloads(seed int64) error {
+	for _, s := range opensparc.Scenarios() {
+		sc := soc.Scenario{Name: s.Name, Launches: s.Launches(InstancesPerFlow, launchStride)}
+		if _, err := soc.Run(sc, soc.Config{Seed: seed, Obs: obs.Default}); err != nil {
+			return fmt.Errorf("exp: workload replay of scenario %d: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
 // CaseRun is one executed case study: golden and buggy simulations, the
 // observation through the selected trace messages, and the debugging
 // report.
@@ -92,11 +108,11 @@ func RunCase(cs opensparc.CaseStudy, seed int64) (*CaseRun, error) {
 		Name:     cs.Scenario.Name,
 		Launches: cs.Scenario.Launches(InstancesPerFlow, launchStride),
 	}
-	golden, err := soc.Run(sc, soc.Config{Seed: seed})
+	golden, err := soc.Run(sc, soc.Config{Seed: seed, Obs: obs.Default})
 	if err != nil {
 		return nil, fmt.Errorf("exp: case %d golden run: %w", cs.ID, err)
 	}
-	buggy, err := soc.Run(sc, soc.Config{Seed: seed, Injectors: inject.Injectors(cs.Bug())})
+	buggy, err := soc.Run(sc, soc.Config{Seed: seed, Injectors: inject.Injectors(cs.Bug()), Obs: obs.Default})
 	if err != nil {
 		return nil, fmt.Errorf("exp: case %d buggy run: %w", cs.ID, err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"tracescale/internal/debugger"
 	"tracescale/internal/inject"
+	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/soc"
 )
@@ -118,7 +119,7 @@ func Table5(seed int64) ([]Table5Row, error) {
 			uint64(i*7), launchStride)...)
 	}
 	sc := soc.Scenario{Name: "all-flows", Launches: launches}
-	golden, err := soc.Run(sc, soc.Config{Seed: seed})
+	golden, err := soc.Run(sc, soc.Config{Seed: seed, Obs: obs.Default})
 	if err != nil {
 		return nil, fmt.Errorf("exp: table 5 golden: %w", err)
 	}
@@ -130,7 +131,7 @@ func Table5(seed int64) ([]Table5Row, error) {
 	affecting := make(map[string][]int)
 	bugs := opensparc.Bugs()
 	for _, b := range bugs {
-		buggy, err := soc.Run(sc, soc.Config{Seed: seed, Injectors: inject.Injectors(b)})
+		buggy, err := soc.Run(sc, soc.Config{Seed: seed, Injectors: inject.Injectors(b), Obs: obs.Default})
 		if err != nil {
 			return nil, fmt.Errorf("exp: table 5 bug %d: %w", b.ID, err)
 		}

@@ -35,6 +35,63 @@ func TestTriggered(t *testing.T) {
 	}
 }
 
+// TestOccurrenceGating pins the arming semantics: a bug armed "after N
+// occurrences" fires on exactly the Nth occurrence and every later one,
+// never earlier. Occurrences number emissions of the same indexed message,
+// so the gate applies per flow instance — both instances replay the same
+// occurrence sequence and both must gate at N independently.
+func TestOccurrenceGating(t *testing.T) {
+	const emissions = 6
+	for _, kind := range []Kind{Delay, Drop} {
+		for _, n := range []int{0, 1, 3} {
+			b := Bug{ID: 1, Kind: kind, Target: "m", DelayBy: 9, AfterOccurrence: n}
+			for _, index := range []int{1, 2} {
+				for occ := 0; occ < emissions; occ++ {
+					e := ev("m", index, occ)
+					wantFire := occ >= n
+					if got := b.Triggered(e); got != wantFire {
+						t.Errorf("%v after %d: Triggered(idx=%d occ=%d) = %v, want %v",
+							kind, n, index, occ, got, wantFire)
+					}
+					out := b.Apply(e, rng())
+					fired := out != (soc.Outcome{})
+					if fired != wantFire {
+						t.Errorf("%v after %d: Apply(idx=%d occ=%d) fired=%v, want %v",
+							kind, n, index, occ, fired, wantFire)
+					}
+					if !fired {
+						continue
+					}
+					switch kind {
+					case Delay:
+						if out.Delay != 9 {
+							t.Errorf("delay outcome = %+v", out)
+						}
+					case Drop:
+						if !out.Drop {
+							t.Errorf("drop outcome = %+v", out)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInstanceGating is the companion gate: AfterIndex arms the bug only
+// for instances with index >= N, independent of occurrence.
+func TestInstanceGating(t *testing.T) {
+	for _, n := range []int{0, 1, 3} {
+		b := Bug{ID: 1, Kind: Drop, Target: "m", AfterIndex: n}
+		for index := 0; index < 5; index++ {
+			want := index >= n
+			if got := b.Triggered(ev("m", index, 0)); got != want {
+				t.Errorf("after index %d: Triggered(idx=%d) = %v, want %v", n, index, got, want)
+			}
+		}
+	}
+}
+
 func TestApplyKinds(t *testing.T) {
 	r := rng()
 	drop := Bug{ID: 7, Kind: Drop, Target: "m"}

@@ -1,11 +1,13 @@
 package interleave
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
 	"io"
+	"sort"
 
 	"tracescale/internal/flow"
 )
@@ -18,12 +20,25 @@ import (
 // same Product, regardless of whether they share *Flow pointers — the key
 // a session cache needs to reuse one analysis across independently built
 // but structurally identical scenarios.
+//
+// An instance set is a set (Definition 4's legality is pairwise, and the
+// interleaving does not depend on listing order), so the fingerprint is
+// permutation-invariant: each instance is digested independently and the
+// digests are combined in sorted order. Duplicate instances still count —
+// the digest multiset, not just its support, is hashed.
 func Fingerprint(instances []flow.Instance) string {
-	h := sha256.New()
-	writeInt(h, len(instances))
-	for _, in := range instances {
+	digests := make([][]byte, len(instances))
+	for i, in := range instances {
+		h := sha256.New()
 		writeInt(h, in.Index)
 		writeFlow(h, in.Flow)
+		digests[i] = h.Sum(nil)
+	}
+	sort.Slice(digests, func(a, b int) bool { return bytes.Compare(digests[a], digests[b]) < 0 })
+	h := sha256.New()
+	writeInt(h, len(instances))
+	for _, d := range digests {
+		h.Write(d)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -13,9 +13,11 @@ import (
 	"math/big"
 	"math/rand"
 	"strings"
+	"time"
 
 	"tracescale/internal/flow"
 	"tracescale/internal/graph"
+	"tracescale/internal/obs"
 )
 
 // Edge is one transition of the interleaved flow: instance Inst performed
@@ -37,6 +39,7 @@ type Product struct {
 	stop      []int
 	out       [][]Edge
 	numEdges  int
+	obs       *obs.Registry // observability sink; nil is a valid no-op
 }
 
 // ErrNotLegallyIndexed is returned by New when two instances of the same
@@ -62,6 +65,19 @@ func key(tuple []int) string {
 // ErrNotLegallyIndexed for illegal indexing and an error if the reachable
 // product exceeds MaxStates.
 func New(instances []flow.Instance) (*Product, error) {
+	return NewObserved(instances, nil)
+}
+
+// NewObserved is New with an observability sink: the build records
+// interleave.builds, interleave.states, interleave.edges, and
+// interleave.build_ns into reg, and the Product carries reg so downstream
+// consumers (the evaluator, path counting) report into the same registry.
+// A nil registry makes NewObserved identical to New.
+func NewObserved(instances []flow.Instance, reg *obs.Registry) (*Product, error) {
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
+	}
 	if len(instances) == 0 {
 		return nil, errors.New("interleave: no instances")
 	}
@@ -71,6 +87,7 @@ func New(instances []flow.Instance) (*Product, error) {
 	p := &Product{
 		instances: instances,
 		index:     make(map[string]int),
+		obs:       reg,
 	}
 
 	// Seed with the cross product of component initial states. Initial
@@ -142,8 +159,23 @@ func New(instances []flow.Instance) (*Product, error) {
 	if len(p.stop) == 0 {
 		return nil, errors.New("interleave: no reachable stop state")
 	}
+	if reg != nil {
+		reg.Counter("interleave.builds").Inc()
+		reg.Add("interleave.states", int64(p.NumStates()))
+		reg.Add("interleave.edges", int64(p.numEdges))
+		reg.Add("interleave.build_ns", time.Since(start).Nanoseconds())
+		reg.Trace().Emit("interleave", "build", map[string]int64{
+			"instances": int64(len(instances)),
+			"states":    int64(p.NumStates()),
+			"edges":     int64(p.numEdges),
+		})
+	}
 	return p, nil
 }
+
+// Obs returns the observability registry the product was built with (nil
+// when the product is unobserved).
+func (p *Product) Obs() *obs.Registry { return p.obs }
 
 func (p *Product) intern(tuple []int) int {
 	k := key(tuple)
@@ -239,6 +271,15 @@ func (p *Product) TotalPaths() *big.Int {
 	if err != nil {
 		// Products of DAGs are DAGs; a cycle here is a library bug.
 		panic("interleave: product of DAGs has a cycle: " + err.Error())
+	}
+	if p.obs != nil {
+		p.obs.Counter("interleave.paths_counted").Inc()
+		// Saturate: the exact count can exceed int64 on big products.
+		if total.IsInt64() {
+			p.obs.Gauge("interleave.paths_last").Set(total.Int64())
+		} else {
+			p.obs.Gauge("interleave.paths_last").Set(int64(^uint64(0) >> 1))
+		}
 	}
 	return total
 }

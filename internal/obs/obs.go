@@ -1,0 +1,400 @@
+// Package obs is the observability layer of the tracescale stack: a
+// dependency-free metrics registry (atomic counters, gauges, fixed-bucket
+// histograms) plus a structured run-trace sink. The paper's whole premise
+// is observability under a budget — §3 selects the messages that maximize
+// what a debugger can see — and obs applies the same discipline to our own
+// pipeline: the SoC simulator, the interleaved-product builder, the
+// selectors, and the session cache all report what they did through a
+// Registry, so benchmark trajectories and regressions (cache-miss storms,
+// worker starvation, credit-stall pile-ups) are measurable instead of
+// invisible.
+//
+// # Nil-safe contract
+//
+// Every method on a nil *Registry, nil *Counter, nil *Gauge, nil
+// *Histogram, and nil *Trace is a no-op (lookups on a nil Registry return
+// nil metrics). Library code therefore threads a possibly-nil registry
+// unconditionally and never branches on it; call sites that opt out pay
+// only a nil check per aggregated record, never per inner-loop iteration.
+// Instrumented layers must keep hot loops metric-free: accumulate locally,
+// record once per phase.
+//
+// # Naming
+//
+// Metric names are dot-separated, lowercase, rooted at the owning layer:
+// soc.*, interleave.*, core.select.*, core.pack.*, pipeline.cache.*.
+// Histograms expand in snapshots to <name>.count, <name>.sum, and
+// cumulative <name>.le_<bound> buckets (plus <name>.le_inf).
+//
+// # Reproducibility
+//
+// Trace events carry monotonic sequence numbers, not wall-clock stamps, so
+// two runs of a deterministic workload produce byte-identical traces.
+// Wall time appears only in metrics explicitly suffixed _ns.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds d to the counter. No-op on a nil Counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc adds one to the counter. No-op on a nil Counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-written value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil Gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v exceeds the current value. No-op on a
+// nil Gauge.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; an implicit +inf bucket catches the
+// rest. All methods are safe for concurrent use.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is +inf
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. No-op on a nil Histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (zero for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (zero for a nil Histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of metrics plus a run-trace sink.
+// Metrics are created lazily on first lookup and live for the registry's
+// lifetime. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    *Trace
+}
+
+// NewRegistry returns an empty registry with an attached trace sink.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		trace:    newTrace(defaultTraceCap),
+	}
+}
+
+// Default is the process-wide registry the CLI tools snapshot via
+// -metrics-json and the default pipeline cache, experiment harness, and
+// regression suite record into. Library users constructing their own
+// caches and simulator configs choose their own registry (or nil).
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. A nil
+// Registry returns a nil (no-op) Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil Registry
+// returns a nil (no-op) Gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Later lookups reuse the existing histogram
+// regardless of bounds, so one metric name always has one bucket layout.
+// A nil Registry returns a nil (no-op) Histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add adds d to the named counter (no-op on a nil Registry).
+func (r *Registry) Add(name string, d int64) { r.Counter(name).Add(d) }
+
+// Trace returns the registry's run-trace sink (nil, and therefore a
+// no-op sink, for a nil Registry).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Snapshot flattens every metric into a name -> value map: counters and
+// gauges map directly; a histogram h expands to h.count, h.sum, and
+// cumulative h.le_<bound> buckets ending in h.le_inf. A nil Registry
+// returns nil.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+4*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = h.count.Load()
+		out[name+".sum"] = h.sum.Load()
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			out[fmt.Sprintf("%s.le_%d", name, b)] = cum
+		}
+		out[name+".le_inf"] = cum + h.buckets[len(h.bounds)].Load()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys —
+// the -metrics-json payload. A nil Registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = map[string]int64{}
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// WriteFile writes the snapshot as JSON to a file — the CLI tools'
+// -metrics-json sink.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Expvar publishes the registry's snapshot under the given expvar name
+// (idempotent: republishing an existing name is a no-op, matching
+// expvar's one-publish rule). A nil Registry publishes nothing.
+func (r *Registry) Expvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// defaultTraceCap bounds the in-memory trace sink; events past the cap
+// are dropped and counted, so a runaway workload cannot exhaust memory.
+const defaultTraceCap = 4096
+
+// TraceEvent is one structured run-trace record. Seq is a monotonic
+// per-sink sequence number — deliberately not a wall-clock stamp — so a
+// deterministic workload emits a byte-identical trace on every run.
+type TraceEvent struct {
+	Seq    uint64           `json:"seq"`
+	Layer  string           `json:"layer"`
+	Kind   string           `json:"kind"`
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+// Trace is an ordered, bounded, concurrency-safe run-trace sink. A nil
+// *Trace is a valid no-op sink.
+type Trace struct {
+	mu      sync.Mutex
+	seq     uint64
+	events  []TraceEvent
+	cap     int
+	dropped int64
+}
+
+func newTrace(cap int) *Trace { return &Trace{cap: cap} }
+
+// Emit appends one event, assigning the next sequence number. Fields is
+// retained — pass a fresh map. No-op on a nil Trace.
+func (t *Trace) Emit(layer, kind string, fields map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cap > 0 && len(t.events) >= t.cap {
+		t.dropped++
+		t.seq++
+		return
+	}
+	t.events = append(t.events, TraceEvent{Seq: t.seq, Layer: layer, Kind: kind, Fields: fields})
+	t.seq++
+}
+
+// Events returns a copy of the emitted events in sequence order (nil for
+// a nil Trace).
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped returns the number of events discarded past the sink's cap.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON writes the trace as JSON lines, one event per line, in
+// sequence order. A nil Trace writes nothing.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	for _, ev := range t.Events() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,14 +7,23 @@
 // themselves memoized in a Cache keyed by a content fingerprint of the
 // instance set (flow structure + indices), so independently built but
 // structurally identical scenarios share the same Session.
+//
+// The layer is observable: a Cache built with NewCacheObs records
+// pipeline.cache.* (hits, misses, evictions, size), pipeline.fingerprint_ns,
+// and pipeline.results.* into its registry, and threads the registry into
+// the interleave build and the core selectors so one snapshot covers the
+// whole analysis chain. A nil registry is a no-op (the obs contract).
 package pipeline
 
 import (
+	"container/list"
 	"sync"
+	"time"
 
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
 	"tracescale/internal/interleave"
+	"tracescale/internal/obs"
 )
 
 // Session is one scenario's analyzed selection pipeline: the interleaved
@@ -23,9 +32,10 @@ import (
 // Results it returns are shared between callers and must be treated as
 // read-only.
 type Session struct {
-	fp string
-	p  *interleave.Product
-	e  *core.Evaluator
+	fp  string
+	p   *interleave.Product
+	e   *core.Evaluator
+	obs *obs.Registry
 
 	mu      sync.Mutex
 	results map[core.Config]*core.Result
@@ -35,7 +45,34 @@ type Session struct {
 // precomputes the Evaluator. The Session is not registered in any Cache;
 // use Cache.Session (or the package-level For) for memoized construction.
 func NewSession(instances []flow.Instance) (*Session, error) {
-	p, err := interleave.New(instances)
+	return NewSessionObs(instances, nil)
+}
+
+// NewSessionObs is NewSession with an observability registry: the
+// fingerprint, interleave build, and every Select the session runs record
+// into reg. A nil registry makes it identical to NewSession.
+func NewSessionObs(instances []flow.Instance, reg *obs.Registry) (*Session, error) {
+	fp := fingerprint(instances, reg)
+	return newSession(fp, instances, reg)
+}
+
+// fingerprint computes the instance-set fingerprint, recording the hash
+// time (the cache-key cost the session layer pays per lookup).
+func fingerprint(instances []flow.Instance, reg *obs.Registry) string {
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
+	}
+	fp := interleave.Fingerprint(instances)
+	if reg != nil {
+		reg.Counter("pipeline.fingerprints").Inc()
+		reg.Add("pipeline.fingerprint_ns", time.Since(start).Nanoseconds())
+	}
+	return fp
+}
+
+func newSession(fp string, instances []flow.Instance, reg *obs.Registry) (*Session, error) {
+	p, err := interleave.NewObserved(instances, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -43,10 +80,12 @@ func NewSession(instances []flow.Instance) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg.Counter("pipeline.session.builds").Inc()
 	return &Session{
-		fp:      interleave.Fingerprint(instances),
+		fp:      fp,
 		p:       p,
 		e:       e,
+		obs:     reg,
 		results: make(map[core.Config]*core.Result),
 	}, nil
 }
@@ -69,9 +108,11 @@ func (s *Session) Select(cfg core.Config) (*core.Result, error) {
 	s.mu.Lock()
 	if res, ok := s.results[cfg]; ok {
 		s.mu.Unlock()
+		s.obs.Counter("pipeline.results.hits").Inc()
 		return res, nil
 	}
 	s.mu.Unlock()
+	s.obs.Counter("pipeline.results.misses").Inc()
 	// Compute outside the lock: Select only reads the evaluator, so a
 	// concurrent duplicate computation is wasteful but deterministic —
 	// both compute identical Results and the second store is idempotent.
@@ -89,36 +130,68 @@ func (s *Session) Select(cfg core.Config) (*core.Result, error) {
 	return res, nil
 }
 
-// Cache memoizes Sessions by instance-set fingerprint.
+// Cache memoizes Sessions by instance-set fingerprint. A Cache built with
+// a capacity evicts the least-recently-used session once full; capacity
+// zero means unbounded (the Default cache's mode).
 type Cache struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	hits     int
-	misses   int
+	mu        sync.Mutex
+	sessions  map[string]*list.Element
+	order     *list.List // front = least recently used
+	capacity  int
+	obs       *obs.Registry
+	hits      int
+	misses    int
+	evictions int
 }
 
-// NewCache returns an empty session cache.
-func NewCache() *Cache {
-	return &Cache{sessions: make(map[string]*Session)}
+type cacheEntry struct {
+	fp string
+	s  *Session
+}
+
+// NewCache returns an empty, unbounded, unobserved session cache.
+func NewCache() *Cache { return NewCacheObs(nil, 0) }
+
+// NewCacheObs returns an empty session cache that records
+// pipeline.cache.* metrics into reg and holds at most capacity sessions
+// (zero = unbounded), evicting least-recently-used sessions past that.
+func NewCacheObs(reg *obs.Registry, capacity int) *Cache {
+	return &Cache{
+		sessions: make(map[string]*list.Element),
+		order:    list.New(),
+		capacity: capacity,
+		obs:      reg,
+	}
 }
 
 // Session returns the cached Session for the instance set, analyzing it on
 // first use. Construction holds the cache lock so concurrent requests for
 // the same scenario analyze it exactly once.
 func (c *Cache) Session(instances []flow.Instance) (*Session, error) {
-	fp := interleave.Fingerprint(instances)
+	fp := fingerprint(instances, c.obs)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if s, ok := c.sessions[fp]; ok {
+	if el, ok := c.sessions[fp]; ok {
 		c.hits++
-		return s, nil
+		c.obs.Counter("pipeline.cache.hits").Inc()
+		c.order.MoveToBack(el)
+		return el.Value.(*cacheEntry).s, nil
 	}
-	s, err := NewSession(instances)
+	s, err := newSession(fp, instances, c.obs)
 	if err != nil {
 		return nil, err
 	}
 	c.misses++
-	c.sessions[fp] = s
+	c.obs.Counter("pipeline.cache.misses").Inc()
+	c.sessions[fp] = c.order.PushBack(&cacheEntry{fp: fp, s: s})
+	if c.capacity > 0 && c.order.Len() > c.capacity {
+		lru := c.order.Front()
+		c.order.Remove(lru)
+		delete(c.sessions, lru.Value.(*cacheEntry).fp)
+		c.evictions++
+		c.obs.Counter("pipeline.cache.evictions").Inc()
+	}
+	c.obs.Gauge("pipeline.cache.size").Set(int64(c.order.Len()))
 	return s, nil
 }
 
@@ -129,6 +202,14 @@ func (c *Cache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// Evictions returns how many sessions the cache has evicted to stay
+// within its capacity (always zero for unbounded caches).
+func (c *Cache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
 // Len returns the number of cached sessions.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -137,8 +218,9 @@ func (c *Cache) Len() int {
 }
 
 // Default is the process-wide session cache the experiment harness, CLI
-// tools, and public facade share.
-var Default = NewCache()
+// tools, and public facade share. It records into obs.Default, which the
+// CLI tools snapshot via -metrics-json.
+var Default = NewCacheObs(obs.Default, 0)
 
 // For returns the Default-cached Session for the instance set.
 func For(instances []flow.Instance) (*Session, error) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/soc"
 )
@@ -117,7 +118,7 @@ func Run(t Test, seed int64, injectors ...soc.Injector) (*Report, error) {
 		}
 		launches = append(launches, soc.Repeat(f, t.FlowCounts[name], 1, uint64(fi), stride)...)
 	}
-	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors})
+	res, err := soc.Run(soc.Scenario{Name: t.Name, Launches: launches}, soc.Config{Seed: seed, Injectors: injectors, Obs: obs.Default})
 	if err != nil {
 		return nil, fmt.Errorf("regress: test %q: %w", t.Name, err)
 	}

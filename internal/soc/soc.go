@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"tracescale/internal/flow"
+	"tracescale/internal/obs"
 )
 
 // Event is one message emission on an IP-pair interface.
@@ -137,6 +138,12 @@ type Config struct {
 	Ports map[string]int
 	// PortDelay is the producer occupancy per emission (default 2).
 	PortDelay uint64
+	// Obs receives run metrics (soc.cycles, soc.events.*, per-link
+	// soc.credit.stall_cycles.*) and a structured run summary. Nil — the
+	// default — disables instrumentation entirely; the simulator core pays
+	// no per-event cost either way, because counters are aggregated from
+	// the Result and stall attribution only runs when the registry is set.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -396,6 +403,34 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 			if next == ^uint64(0) {
 				break // all done, or deadlocked (wedged mutex holder / leaked credits)
 			}
+			if cfg.Obs != nil {
+				// Attribute the idle gap to the flow-control resources that
+				// caused it: every time-ready, mutex-legal instance whose
+				// outgoing edges are all blocked stalls (next-cycle) cycles
+				// on each blocking link or port.
+				delta := int64(next - cycle)
+				for i, in := range run {
+					if in.done || in.wedged || in.readyAt > cycle {
+						continue
+					}
+					if holder >= 0 && holder != i {
+						continue
+					}
+					f := in.launch.Flow
+					for _, ei := range f.Out(in.state) {
+						m := f.Message(f.Edges()[ei].Msg)
+						l := Link{m.Src, m.Dst}
+						if constrained(l) && credits[l] <= 0 {
+							cfg.Obs.Add("soc.credit.stall_cycles", delta)
+							cfg.Obs.Add("soc.credit.stall_cycles."+l.Src+"->"+l.Dst, delta)
+						}
+						if portConstrained(m.Src) && ports[m.Src] <= 0 {
+							cfg.Obs.Add("soc.port.stall_cycles", delta)
+							cfg.Obs.Add("soc.port.stall_cycles."+m.Src, delta)
+						}
+					}
+				}
+			}
 			cycle = next
 			if cycle > cfg.MaxCycles {
 				break
@@ -514,5 +549,52 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 		}
 	}
 	sort.SliceStable(res.Symptoms, func(i, j int) bool { return res.Symptoms[i].Cycle < res.Symptoms[j].Cycle })
+	if cfg.Obs != nil {
+		recordRun(cfg.Obs, sc, res)
+	}
 	return res, nil
 }
+
+// recordRun aggregates a finished run into the registry — one pass over
+// the event list at run end, never per-event work inside the simulation
+// loop.
+func recordRun(reg *obs.Registry, sc Scenario, res *Result) {
+	var delivered, dropped, misrouted, corrupted int64
+	for _, ev := range res.Events {
+		switch {
+		case ev.Dropped:
+			dropped++
+		case ev.Misrouted:
+			misrouted++
+		default:
+			delivered++
+		}
+		if ev.Corrupted {
+			corrupted++
+		}
+	}
+	reg.Counter("soc.runs").Inc()
+	reg.Add("soc.cycles", int64(res.EndCycle))
+	reg.Add("soc.events.emitted", int64(len(res.Events)))
+	reg.Add("soc.events.delivered", delivered)
+	reg.Add("soc.events.dropped", dropped)
+	reg.Add("soc.events.misrouted", misrouted)
+	reg.Add("soc.events.corrupted", corrupted)
+	reg.Add("soc.instances.launched", int64(len(sc.Launches)))
+	reg.Add("soc.instances.completed", int64(res.Completed))
+	reg.Add("soc.instances.wedged", int64(res.Wedged))
+	reg.Add("soc.symptoms", int64(len(res.Symptoms)))
+	reg.Histogram("soc.run_cycles", runCycleBounds).Observe(int64(res.EndCycle))
+	reg.Trace().Emit("soc", "run", map[string]int64{
+		"launches":  int64(len(sc.Launches)),
+		"events":    int64(len(res.Events)),
+		"cycles":    int64(res.EndCycle),
+		"completed": int64(res.Completed),
+		"wedged":    int64(res.Wedged),
+		"symptoms":  int64(len(res.Symptoms)),
+	})
+}
+
+// runCycleBounds buckets soc.run_cycles: regression tests end within
+// thousands of cycles; hangs abort at MaxCycles (default 10M).
+var runCycleBounds = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
