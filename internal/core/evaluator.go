@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"tracescale/internal/flow"
 	"tracescale/internal/info"
@@ -53,9 +54,14 @@ func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
 		}
 	}
 
-	stats := p.MessageStats()
+	// Flatten the statistics maps into (Name, Index)- and state-sorted
+	// slices before any floating-point work: float addition is not
+	// associative, so summing gain terms in map-iteration order would give
+	// bit-different Gain values run to run — enough to flip the selector's
+	// epsilon tie-breaks and desynchronize golden results.
+	stats := sortedStats(p.MessageStats())
 	for _, st := range stats {
-		e.totalOcc += st.Count
+		e.totalOcc += st.count
 	}
 	if e.totalOcc == 0 {
 		return nil, fmt.Errorf("core: interleaved flow has no transitions")
@@ -74,21 +80,57 @@ func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
 		e.visibleOf[i] = newBitset(p.NumStates())
 		e.widthOf[i] = m.TraceWidth()
 	}
-	for im, st := range stats {
-		i, ok := e.byName[im.Name]
+	for _, st := range stats {
+		i, ok := e.byName[st.msg.Name]
 		if !ok {
-			return nil, fmt.Errorf("core: product edge labeled with unknown message %q", im.Name)
+			return nil, fmt.Errorf("core: product edge labeled with unknown message %q", st.msg.Name)
 		}
-		py := float64(st.Count) / float64(e.totalOcc)
+		py := float64(st.count) / float64(e.totalOcc)
 		var acc info.Accumulator
-		for x, c := range st.Targets {
-			pxy := py * float64(c) / float64(st.Count)
+		for _, t := range st.targets {
+			pxy := py * float64(t.count) / float64(st.count)
 			acc.Add(pxy, px, py)
-			e.visibleOf[i].set(x)
+			e.visibleOf[i].set(t.state)
 		}
 		e.gainOf[i] += acc.Value()
 	}
 	return e, nil
+}
+
+// msgStat is one indexed message's occurrence statistics with every map
+// flattened into sorted slices, so downstream float summation runs in a
+// fixed order.
+type msgStat struct {
+	msg     flow.IndexedMsg
+	count   int
+	targets []targetCount // ascending by state
+}
+
+type targetCount struct {
+	state int
+	count int
+}
+
+// sortedStats flattens interleave.MessageStats into deterministic order:
+// messages ascending by (Name, Index), each message's target states
+// ascending.
+func sortedStats(stats map[flow.IndexedMsg]*interleave.MsgStat) []msgStat {
+	out := make([]msgStat, 0, len(stats))
+	for im, st := range stats {
+		ms := msgStat{msg: im, count: st.Count, targets: make([]targetCount, 0, len(st.Targets))}
+		for state, c := range st.Targets {
+			ms.targets = append(ms.targets, targetCount{state: state, count: c})
+		}
+		sort.Slice(ms.targets, func(a, b int) bool { return ms.targets[a].state < ms.targets[b].state })
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].msg.Name != out[b].msg.Name {
+			return out[a].msg.Name < out[b].msg.Name
+		}
+		return out[a].msg.Index < out[b].msg.Index
+	})
+	return out
 }
 
 // Product returns the interleaved flow under evaluation.
