@@ -1,0 +1,91 @@
+// Command tracelint machine-checks the repo's invariants with the
+// internal/analysis suite:
+//
+//	tracelint ./...                  # lint the whole module
+//	tracelint -json ./... > lint.json
+//	tracelint -analyzers clockrand,detrange ./internal/core
+//	tracelint -C /path/to/module ./...
+//
+// Diagnostics are printed one per line as file:line:col: [analyzer]
+// message (or as a JSON array with -json). The exit code is 0 when clean,
+// 1 on findings or errors, 2 on bad usage; stderr carries a one-line
+// per-analyzer summary when the gate trips, so CI logs stay readable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tracescale/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "tracelint:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a bad invocation: usage was already printed, exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// run executes one tracelint invocation against the given argument list,
+// writing diagnostics to w. main is a thin exit-code shim around it, so
+// tests drive the full CLI in-process with a bytes.Buffer. It returns a
+// non-nil error when there are findings — the summary line — so main
+// exits non-zero exactly when the tree is dirty.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracelint", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array (stable schema: file, line, col, analyzer, message)")
+		dir     = fs.String("C", ".", "run in this directory (the module root to lint)")
+		names   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list    = fs.Bool("list", false, "list available analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(w, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *names != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*names, ","))
+		if err != nil {
+			return err
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(*dir, patterns, analyzers)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(w, diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%s", analysis.Summary(diags))
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirtyModule writes a throwaway module whose core package reads the wall
+// clock, so clockrand fires exactly once.
+func dirtyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("core/core.go", `package core
+
+import "time"
+
+// Stamp reads the wall clock in a deterministic package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`)
+	return dir
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nilsafe", "detrange", "clockrand", "obsdrop"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err != errUsage {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	err := run([]string{"-analyzers", "nope", "./..."}, io.Discard)
+	if err == nil || err == errUsage || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v, want unknown-analyzer error naming nope", err)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-C", "../..", "./internal/obs"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", buf.String())
+	}
+}
+
+func TestRunFindingsText(t *testing.T) {
+	dir := dirtyModule(t)
+	var buf bytes.Buffer
+	err := run([]string{"-C", dir, "./..."}, &buf)
+	if err == nil {
+		t.Fatal("expected a findings error")
+	}
+	if got, want := err.Error(), "1 finding (clockrand=1)"; got != want {
+		t.Errorf("summary = %q, want %q", got, want)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[clockrand]") || !strings.Contains(out, "core.go:7:") {
+		t.Errorf("text output missing the diagnostic:\n%s", out)
+	}
+}
+
+func TestRunFindingsJSON(t *testing.T) {
+	dir := dirtyModule(t)
+	var buf bytes.Buffer
+	err := run([]string{"-C", dir, "-json", "./..."}, &buf)
+	if err == nil {
+		t.Fatal("expected a findings error even with -json")
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if jsonErr := json.Unmarshal(buf.Bytes(), &diags); jsonErr != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", jsonErr, buf.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %s", len(diags), buf.String())
+	}
+	d := diags[0]
+	if d.Analyzer != "clockrand" || d.Line != 7 || !strings.HasSuffix(d.File, "core.go") ||
+		!strings.Contains(d.Message, "time.Now") {
+		t.Errorf("diagnostic = %+v", d)
+	}
+}
+
+func TestRunAnalyzerSubset(t *testing.T) {
+	dir := dirtyModule(t)
+	var buf bytes.Buffer
+	// obsdrop alone must not see the clockrand violation.
+	if err := run([]string{"-C", dir, "-analyzers", "obsdrop", "./..."}, &buf); err != nil {
+		t.Fatalf("err = %v, want clean run under the obsdrop subset", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("subset run produced output:\n%s", buf.String())
+	}
+}

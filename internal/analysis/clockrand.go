@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// ClockRand guards run reproducibility: the simulator, the selection
+// pipeline, and the information-gain computation must be pure functions of
+// their inputs and seeds, so the fuzz corpus and the paper's goldens replay
+// bit-identically. In internal/{core,interleave,flow,soc,info} it forbids
+//
+//   - reading the wall clock: time.Now, time.Since, time.Until (trace
+//     events carry sequence numbers, not timestamps; the only sanctioned
+//     wall-clock use is registry-gated metrics timing, annotated
+//     //lint:ignore clockrand), and
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...): its
+//     state is process-wide and unseedable per run. Constructing injected
+//     generators (rand.New, rand.NewSource, rand.NewZipf) is allowed, as
+//     are methods on an injected *rand.Rand.
+var ClockRand = &Analyzer{
+	Name:  "clockrand",
+	Doc:   "no wall clock or global math/rand in the deterministic packages; inject seeds and clocks",
+	Scope: []string{"core", "interleave", "flow", "soc", "info"},
+	Run:   runClockRand,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// injected generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// clockFuncs are the time functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runClockRand(pass *Pass) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			continue // methods (e.g. on an injected *rand.Rand) are fine
+		}
+		switch path := fn.Pkg().Path(); {
+		case path == "time" && clockFuncs[fn.Name()]:
+			pass.Reportf(ident.Pos(),
+				"time.%s reads the wall clock; runs must be reproducible — inject a clock, or annotate registry-gated metrics timing with //lint:ignore clockrand <reason>",
+				fn.Name())
+		case isMathRand(path) && !randConstructors[fn.Name()]:
+			pass.Reportf(ident.Pos(),
+				"%s.%s draws from the process-global source; inject a seeded *rand.Rand instead",
+				path, fn.Name())
+		}
+	}
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || strings.HasPrefix(path, "math/rand/")
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange guards the selection pipeline's determinism invariant: parallel
+// and serial runs — and any two runs at all — must produce byte-identical
+// Results, so map iteration order must never reach persistent state. In
+// internal/{core,interleave,flow} a range over a map is flagged when its
+// body
+//
+//   - appends to a slice declared outside the loop, unless the slice is
+//     passed to a sort.* / slices.* call later in the same function (the
+//     collect-then-sort idiom), or
+//   - accumulates into a floating-point location that outlives the loop
+//     (float addition is not associative, so the summation order — the map
+//     order — changes the result's bits; sorting afterwards cannot undo
+//     that).
+//
+// Accumulation hidden behind method calls (e.g. an accumulator object) is
+// beyond this analyzer's reach; keep such loops over sorted keys.
+var DetRange = &Analyzer{
+	Name:  "detrange",
+	Doc:   "map iteration order must not reach slices, returns, or float accumulation in the selection pipeline",
+	Scope: []string{"core", "interleave", "flow"},
+	Run:   runDetRange,
+}
+
+func runDetRange(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncRanges(pass, fd.Body)
+		}
+	}
+}
+
+// checkFuncRanges inspects every map-range inside one function body; the
+// body is also the horizon for the later-sort absolution scan.
+func checkFuncRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.Types[rng.X].Type; t == nil || !isMap(t) {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) == 0 {
+			return true
+		}
+		lhs := assign.Lhs[0]
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloat(pass.Info.Types[lhs].Type) && !declaredWithin(pass, lhs, rng.Body) {
+				pass.Reportf(assign.Pos(),
+					"float accumulation in map-iteration order is not bit-reproducible; iterate sorted keys instead")
+			}
+		case token.ASSIGN, token.DEFINE:
+			if len(assign.Rhs) != 1 || !isAppendCall(pass, assign.Rhs[0]) {
+				return true
+			}
+			obj := rootObject(pass, lhs)
+			if obj == nil || declPosWithin(obj, rng.Body) {
+				return true
+			}
+			if sortedAfter(pass, fnBody, rng, obj) {
+				return true
+			}
+			pass.Reportf(assign.Pos(),
+				"append to %s in map-iteration order without a later sort; selection results must be order-independent (parallel ≡ serial invariant)",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isAppendCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the variable at the root of an lvalue: x, x.f, x[i],
+// and chains thereof all resolve to x's object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the lvalue's root variable is declared
+// inside the block — per-iteration state, which map order cannot leak
+// through.
+func declaredWithin(pass *Pass, lhs ast.Expr, block *ast.BlockStmt) bool {
+	obj := rootObject(pass, lhs)
+	return obj != nil && declPosWithin(obj, block)
+}
+
+func declPosWithin(obj types.Object, block *ast.BlockStmt) bool {
+	return obj.Pos() >= block.Pos() && obj.Pos() < block.End()
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function calls into package sort or slices with the collected variable —
+// the collect-then-sort idiom that restores determinism.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pkgName.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.Info.Uses[ident] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

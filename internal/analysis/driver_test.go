@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot is the module root relative to this package's directory.
+const repoRoot = "../.."
+
+// TestParseGoList decodes a literal `go list -json` stream: concatenated
+// JSON objects, not an array.
+func TestParseGoList(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []*Package
+		err   string
+	}{
+		{
+			name:  "empty",
+			input: "",
+			want:  nil,
+		},
+		{
+			name: "two packages",
+			input: `{"Dir": "/m/a", "ImportPath": "m/a", "Name": "a", "GoFiles": ["a.go", "b.go"]}
+{"Dir": "/m/b", "ImportPath": "m/b", "Name": "b", "GoFiles": ["b.go"]}`,
+			want: []*Package{
+				{Dir: "/m/a", ImportPath: "m/a", Name: "a", GoFiles: []string{"a.go", "b.go"}},
+				{Dir: "/m/b", ImportPath: "m/b", Name: "b", GoFiles: []string{"b.go"}},
+			},
+		},
+		{
+			name:  "load error carried through",
+			input: `{"ImportPath": "m/bad", "Error": {"Err": "no Go files in /m/bad"}}`,
+			want:  []*Package{{ImportPath: "m/bad", Error: &PackageError{Err: "no Go files in /m/bad"}}},
+		},
+		{
+			name:  "garbage",
+			input: `{"Dir": `,
+			err:   "parsing go list output",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseGoList(strings.NewReader(tc.input))
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("err = %v, want containing %q", err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d packages, want %d", len(got), len(tc.want))
+			}
+			for i, p := range got {
+				w := tc.want[i]
+				if p.Dir != w.Dir || p.ImportPath != w.ImportPath || p.Name != w.Name {
+					t.Errorf("package %d = %+v, want %+v", i, p, w)
+				}
+				if strings.Join(p.GoFiles, ",") != strings.Join(w.GoFiles, ",") {
+					t.Errorf("package %d GoFiles = %v, want %v", i, p.GoFiles, w.GoFiles)
+				}
+				if (p.Error == nil) != (w.Error == nil) {
+					t.Errorf("package %d Error = %v, want %v", i, p.Error, w.Error)
+				} else if p.Error != nil && p.Error.Err != w.Error.Err {
+					t.Errorf("package %d Error.Err = %q, want %q", i, p.Error.Err, w.Error.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestGoListRepo lists a real package of this module through the go command.
+func TestGoListRepo(t *testing.T) {
+	pkgs, err := GoList(repoRoot, []string{"./internal/obs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "tracescale/internal/obs" || p.Name != "obs" {
+		t.Errorf("listed %s (package %s), want tracescale/internal/obs (package obs)", p.ImportPath, p.Name)
+	}
+	if len(p.GoFiles) == 0 || p.Error != nil {
+		t.Errorf("GoFiles = %v, Error = %v", p.GoFiles, p.Error)
+	}
+}
+
+// TestGoListBadDir surfaces the go command's failure when the working
+// directory does not exist.
+func TestGoListBadDir(t *testing.T) {
+	if _, err := GoList(filepath.Join(t.TempDir(), "missing"), []string{"./..."}); err == nil {
+		t.Fatal("expected an error for a nonexistent directory")
+	}
+}
+
+// TestCheckSurfacesListError converts a go list load error into a checker
+// error instead of analyzing an empty package.
+func TestCheckSurfacesListError(t *testing.T) {
+	pkg := &Package{ImportPath: "m/bad", Error: &PackageError{Err: "no Go files in /m/bad"}}
+	_, err := NewChecker().Check(pkg)
+	if err == nil || !strings.Contains(err.Error(), "m/bad") || !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("err = %v, want the load error with the import path", err)
+	}
+}
+
+// TestCheckDirSurfacesTypeError typechecks the deliberately broken golden
+// package and expects the type error, not a Pass.
+func TestCheckDirSurfacesTypeError(t *testing.T) {
+	_, err := NewChecker().CheckDir(filepath.Join("testdata", "src", "broken"), "broken")
+	if err == nil || !strings.Contains(err.Error(), "typechecking broken") {
+		t.Fatalf("err = %v, want a typechecking error for package broken", err)
+	}
+}
+
+// TestCheckDirSurfacesParseError reports syntax errors with positions.
+func TestCheckDirSurfacesParseError(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "bad.go"), "package bad\nfunc {\n")
+	_, err := NewChecker().CheckDir(dir, "bad")
+	if err == nil || !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("err = %v, want a parse error naming bad.go", err)
+	}
+}
+
+// TestCheckDirEmpty rejects directories with no Go files.
+func TestCheckDirEmpty(t *testing.T) {
+	if _, err := NewChecker().CheckDir(t.TempDir(), "empty"); err == nil {
+		t.Fatal("expected an error for a directory without Go files")
+	}
+}
+
+// TestCheckDirSkipsTests keeps _test.go files out of the ad-hoc package.
+func TestCheckDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a.go"), "package p\n\nfunc A() {}\n")
+	writeFile(t, filepath.Join(dir, "a_test.go"), "package p\n\nthis would not even parse\n")
+	pass, err := NewChecker().CheckDir(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pass.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (the _test.go must be skipped)", len(pass.Files))
+	}
+}
+
+// TestRunRepoClean runs the full pipeline over this repository: after the
+// determinism fixes the tree must be finding-free, which is exactly the CI
+// gate.
+func TestRunRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repo from source")
+	}
+	diags, err := Run(repoRoot, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on the real tree: %s", d)
+	}
+}
+
+// TestByName pins subset selection and unknown-name errors.
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"obsdrop", "nilsafe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "obsdrop" || got[1].Name != "nilsafe" {
+		t.Errorf("ByName returned %v", got)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v, want unknown-analyzer error naming nope", err)
+	}
+}
+
+// TestWriteJSON pins the machine-readable schema CI archives.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty diagnostics encode as %q, want %q", got, "[]\n")
+	}
+
+	buf.Reset()
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: "a/b.go", Line: 7, Column: 3},
+		Analyzer: "detrange",
+		Message:  "append in map order",
+	}}
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d entries, want 1", len(decoded))
+	}
+	want := map[string]any{
+		"file":     "a/b.go",
+		"line":     float64(7),
+		"col":      float64(3),
+		"analyzer": "detrange",
+		"message":  "append in map order",
+	}
+	if len(decoded[0]) != len(want) {
+		t.Errorf("schema has keys %v, want exactly %v", decoded[0], want)
+	}
+	for k, v := range want {
+		if decoded[0][k] != v {
+			t.Errorf("field %q = %v, want %v", k, decoded[0][k], v)
+		}
+	}
+}
+
+// TestSummary pins the one-line CI gate text.
+func TestSummary(t *testing.T) {
+	d := func(a string) Diagnostic { return Diagnostic{Analyzer: a} }
+	cases := []struct {
+		diags []Diagnostic
+		want  string
+	}{
+		{nil, "no findings"},
+		{[]Diagnostic{d("nilsafe")}, "1 finding (nilsafe=1)"},
+		{[]Diagnostic{d("detrange"), d("clockrand"), d("detrange")}, "3 findings (clockrand=1, detrange=2)"},
+	}
+	for _, tc := range cases {
+		if got := Summary(tc.diags); got != tc.want {
+			t.Errorf("Summary(%d diags) = %q, want %q", len(tc.diags), got, tc.want)
+		}
+	}
+}
+
+// TestDiagnosticString pins the canonical file:line:col rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 2, Column: 5},
+		Analyzer: "nilsafe",
+		Message:  "m",
+	}
+	if got, want := d.String(), "x.go:2:5: [nilsafe] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsDrop guards registry threading: the obs contract has library code pass
+// a possibly-nil *obs.Registry through unconditionally, so a function that
+// was handed a registry and then calls a registry-accepting callee with a
+// literal nil silently blackholes every metric on that call path — the
+// whole layer below disappears from snapshots with no error anywhere.
+// Deliberately-unobserved wrappers (interleave.New, pipeline.NewSession)
+// are fine: they take no registry, so there is nothing to drop.
+var ObsDrop = &Analyzer{
+	Name: "obsdrop",
+	Doc:  "functions receiving a *obs.Registry must thread it, not pass nil, to registry-accepting callees",
+	Run:  runObsDrop,
+}
+
+func runObsDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if !hasRegistryParam(sig) {
+				continue
+			}
+			checkRegistryCalls(pass, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+func hasRegistryParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isRegistryPtr(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRegistryPtr reports whether t is *Registry of an obs package (matched
+// by import-path tail, so the rule follows the type wherever the module
+// lives).
+func isRegistryPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+func checkRegistryCalls(pass *Pass, funcName string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig, ok := calleeSignature(pass, call)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !isNilIdent(pass, arg) {
+				continue
+			}
+			pt, ok := paramTypeAt(sig, i)
+			if ok && isRegistryPtr(pt) {
+				pass.Reportf(arg.Pos(),
+					"%s receives a *obs.Registry but passes nil to %s; thread the registry (a nil here blackholes downstream metrics)",
+					funcName, types.ExprString(call.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// calleeSignature resolves the called function's signature; conversions and
+// builtins have none and are skipped.
+func calleeSignature(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramTypeAt returns the type of the parameter receiving argument i,
+// accounting for variadics.
+func paramTypeAt(sig *types.Signature, i int) (types.Type, bool) {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil, false
+	}
+	if i < n-1 || (!sig.Variadic() && i < n) {
+		return params.At(i).Type(), true
+	}
+	if !sig.Variadic() {
+		return nil, false // more args than params: conversion-ish, skip
+	}
+	last := params.At(n - 1).Type()
+	if sl, ok := last.(*types.Slice); ok {
+		return sl.Elem(), true
+	}
+	return last, true
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[ident].(*types.Nil)
+	return isNil
+}

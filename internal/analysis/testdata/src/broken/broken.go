@@ -1,0 +1,7 @@
+// Package broken fails to typecheck on purpose: driver tests assert that the
+// checker surfaces the error instead of analyzing a half-typed package.
+package broken
+
+func Busted() int {
+	return "not an int"
+}

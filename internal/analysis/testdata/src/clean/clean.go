@@ -1,0 +1,55 @@
+// Package clean is golden input with zero findings: every pattern here is a
+// near-miss that the analyzers must NOT flag. The harness checks it under an
+// import path that puts all four analyzers in scope.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+
+	"tracescale/internal/obs"
+)
+
+// Meter is nil-safe the way the obs contract demands.
+type Meter struct{ v int64 }
+
+// Bump guards before touching fields.
+func (m *Meter) Bump() {
+	if m == nil {
+		return
+	}
+	m.v++
+}
+
+// Keys is the collect-then-sort idiom detrange absolves.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count accumulates an integer: order-independent, allowed in map order.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Jitter draws from an injected, seeded generator.
+func Jitter(r *rand.Rand) int {
+	return r.Intn(16)
+}
+
+// Observe threads its registry through unchanged.
+func Observe(reg *obs.Registry, n int64) {
+	record(reg, n)
+}
+
+func record(reg *obs.Registry, n int64) {
+	reg.Add("clean.n", n)
+}

@@ -1,0 +1,96 @@
+// Package core is golden input for the detrange analyzer: map ranges whose
+// iteration order must not reach persistent state.
+package core
+
+import "sort"
+
+// CollectUnsorted leaks map order into the returned slice.
+func CollectUnsorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want `append to names in map-iteration order without a later sort`
+	}
+	return names
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SumFloats accumulates floats in map order: not bit-reproducible, and a
+// later sort cannot repair it.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation in map-iteration order is not bit-reproducible`
+	}
+	return total
+}
+
+// SumInts accumulates integers: order-independent, allowed.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ScaleInPlace writes into a float slot per iteration, but the slot is
+// keyed by the iteration itself (a map copy): order-independent.
+func ScaleInPlace(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// LocalAccumulator keeps the float state per-iteration: allowed.
+func LocalAccumulator(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Audited carries a reviewed suppression: no finding.
+func Audited(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:ignore detrange commutative to the bit: audited single-term sums
+		total += v
+	}
+	return total
+}
+
+// BadSuppression has an ignore directive with no reason: the directive
+// itself is the finding, and it does not silence the real one.
+func BadSuppression(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:ignore detrange
+		total += v // want `float accumulation in map-iteration order`
+	}
+	return total
+}
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,79 @@
+// Package obs is a deliberately broken miniature of the real observability
+// layer: golden input for the nilsafe analyzer.
+package obs
+
+import "sync"
+
+// Counter violates the contract in several ways and honors it in others.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add touches c.v with no guard.
+func (c *Counter) Add(d int64) { // want `exported method \(\*Counter\)\.Add touches receiver fields without a leading nil-receiver guard`
+	c.v += d
+}
+
+// Inc delegates to a guarded method without touching fields: fine.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value is properly guarded.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Reset guards too late: the lock is taken first.
+func (c *Counter) Reset() { // want `exported method \(\*Counter\)\.Reset touches receiver fields without a leading nil-receiver guard`
+	c.mu.Lock()
+	if c == nil {
+		return
+	}
+	c.v = 0
+	c.mu.Unlock()
+}
+
+// reset is unexported: out of the contract's scope.
+func (c *Counter) reset() { c.v = 0 }
+
+// Gauge checks a disjunctive guard — allowed, the nil test still comes
+// first and the branch returns.
+type Gauge struct {
+	v       int64
+	enabled bool
+}
+
+// Set has a compound guard with a leading nil test.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !guardEnabled() {
+		return
+	}
+	g.v = v
+}
+
+// Peek guards with the operands reversed (nil == g): still a guard.
+func (g *Gauge) Peek() int64 {
+	if nil == g {
+		return 0
+	}
+	return g.v
+}
+
+// Enabled guards but the branch falls through instead of returning, so a
+// nil receiver still reaches the field access.
+func (g *Gauge) Enabled() bool { // want `exported method \(\*Gauge\)\.Enabled touches receiver fields`
+	if g == nil {
+		_ = guardEnabled()
+	}
+	return g.enabled
+}
+
+// ByValue has a value receiver: it can never be nil.
+func (g Gauge) ByValue() int64 { return g.v }
+
+func guardEnabled() bool { return true }

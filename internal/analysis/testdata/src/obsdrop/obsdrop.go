@@ -1,0 +1,38 @@
+// Package obsdrop is golden input for the obsdrop analyzer: a function that
+// receives a *obs.Registry must thread it to registry-accepting callees, not
+// replace it with a literal nil.
+package obsdrop
+
+import "tracescale/internal/obs"
+
+func consume(reg *obs.Registry, n int) {}
+
+func fanout(n int, regs ...*obs.Registry) {}
+
+func other(p *int, reg *obs.Registry) {}
+
+// Drop receives a registry and blackholes it.
+func Drop(reg *obs.Registry) {
+	consume(nil, 1) // want `Drop receives a \*obs\.Registry but passes nil to consume`
+}
+
+// Thread passes the registry through: the contract.
+func Thread(reg *obs.Registry) {
+	consume(reg, 1)
+}
+
+// NoRegistry takes no registry, so its nil is a deliberate opt-out — the
+// deliberately-unobserved-wrapper pattern.
+func NoRegistry(n int) {
+	consume(nil, n)
+}
+
+// DropVariadic drops the registry through a variadic parameter.
+func DropVariadic(reg *obs.Registry) {
+	fanout(1, reg, nil) // want `DropVariadic receives a \*obs\.Registry but passes nil to fanout`
+}
+
+// NilForOther passes nil to a non-registry parameter: fine.
+func NilForOther(reg *obs.Registry) {
+	other(nil, reg)
+}

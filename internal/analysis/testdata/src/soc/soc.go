@@ -1,0 +1,43 @@
+// Package soc is golden input for the clockrand analyzer: the deterministic
+// packages may not read the wall clock or the process-global rand source.
+package soc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice with no sanction.
+func Elapsed() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Deadline uses time.Until: also a wall-clock read.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+// GlobalDie draws from the process-global source.
+func GlobalDie() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the process-global source`
+}
+
+// SeededDie builds and uses an injected generator: the constructors and the
+// methods on the resulting *rand.Rand are both sanctioned.
+func SeededDie(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Timestamp carries a reviewed suppression: registry-gated metrics timing
+// is the one legitimate wall-clock use.
+func Timestamp() int64 {
+	//lint:ignore clockrand registry-gated metrics timing; never reaches results
+	return time.Now().UnixNano()
+}
+
+// FixedDate constructs a time value without reading the clock: allowed.
+func FixedDate() time.Time {
+	return time.Unix(0, 0)
+}

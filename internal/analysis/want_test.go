@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the backtick-quoted expectation regexes from a
+// "// want `...` `...`" comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one "// want" regex anchored to a file line, or an extra
+// expectation the test table injects for diagnostics that cannot carry a
+// trailing comment (a malformed //lint:ignore is itself a comment).
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans the pass's comments for // want expectations.
+func collectWants(t *testing.T, pass *Pass) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a backtick-quoted regex", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestGoldenPackages is the analysistest-style harness: each testdata/src
+// package is typechecked, run through the full analyzer suite, and its
+// diagnostics matched one-for-one against the // want comments. Unmatched
+// diagnostics and unsatisfied wants are both failures, so the goldens pin
+// false positives as tightly as false negatives.
+func TestGoldenPackages(t *testing.T) {
+	cases := []struct {
+		dir string
+		// importPath controls analyzer scoping: segments are matched
+		// against each analyzer's Scope list.
+		importPath string
+		// extra maps a line of the (single-file) package to a regex for a
+		// diagnostic that cannot carry its own trailing want comment.
+		extra map[int]string
+	}{
+		{dir: "obs", importPath: "obs"},
+		{dir: "core", importPath: "core", extra: map[int]string{
+			83: `malformed suppression`, // the reasonless //lint:ignore in BadSuppression
+		}},
+		{dir: "soc", importPath: "soc"},
+		{dir: "obsdrop", importPath: "obsdrop"},
+		// clean is checked under a path that puts every scoped analyzer in
+		// scope; it must produce zero findings.
+		{dir: "clean", importPath: "core/obs/clean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			c := NewChecker()
+			pass, err := c.CheckDir(filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, pass)
+			for line, re := range tc.extra {
+				wants = append(wants, &expectation{line: line, re: regexp.MustCompile(re)})
+			}
+			diags := Analyze(pass, All())
+			for _, d := range diags {
+				if !matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// matchWant consumes the first unsatisfied expectation covering the
+// diagnostic. Expectations without a file (the injected extras) match on
+// line alone.
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.hit || w.line != line || (w.file != "" && w.file != file) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestGoldenTripCounts double-checks that each analyzer actually fires on
+// its golden package — a harness bug that matched zero wants against zero
+// diagnostics would otherwise pass silently.
+func TestGoldenTripCounts(t *testing.T) {
+	cases := []struct {
+		dir, importPath, analyzer string
+		min                       int
+	}{
+		{"obs", "obs", "nilsafe", 3},
+		{"core", "core", "detrange", 3},
+		{"soc", "soc", "clockrand", 4},
+		{"obsdrop", "obsdrop", "obsdrop", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			c := NewChecker()
+			pass, err := c.CheckDir(filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for _, d := range Analyze(pass, All()) {
+				if d.Analyzer == tc.analyzer {
+					n++
+				}
+			}
+			if n < tc.min {
+				t.Errorf("%s tripped %d times on testdata/src/%s, want >= %d", tc.analyzer, n, tc.dir, tc.min)
+			}
+		})
+	}
+}
+
+// TestScopeFiltering pins the segment-matching semantics of Analyzer.Scope.
+func TestScopeFiltering(t *testing.T) {
+	a := &Analyzer{Name: "x", Scope: []string{"obs"}}
+	for path, want := range map[string]bool{
+		"tracescale/internal/obs":     true,
+		"obs":                         true,
+		"a/obs/b":                     true,
+		"tracescale/internal/observe": false,
+		"cobs":                        false,
+		"":                            false,
+	} {
+		if got := a.inScope(path); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if all := (&Analyzer{Name: "y"}); !all.inScope("anything/at/all") {
+		t.Error("empty scope must match every package")
+	}
+}
+
+// TestSuppressions drives Analyze with a synthetic analyzer so the
+// suppression machinery is exercised in isolation: same-line, line-above,
+// wrong-analyzer, too-far, and malformed directives.
+func TestSuppressions(t *testing.T) {
+	dir := t.TempDir()
+	// Line 3 is suppressed same-line, line 6 from the line above, line 9
+	// names a different analyzer (survives), line 13 sits two lines below
+	// its directive (survives).
+	src := `package sup
+
+func A() {} //lint:ignore synth reviewed
+
+//lint:ignore synth reviewed
+func B() {}
+
+//lint:ignore other reviewed
+func C() {}
+
+//lint:ignore synth reviewed
+
+func D() {}
+`
+	writeFile(t, filepath.Join(dir, "sup.go"), src)
+	synth := &Analyzer{
+		Name: "synth",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					pass.Reportf(d.Pos(), "decl finding")
+				}
+			}
+		},
+	}
+	pass, err := NewChecker().CheckDir(dir, "sup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(pass, []*Analyzer{synth})
+	var lines []int
+	for _, d := range diags {
+		if d.Analyzer != "synth" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+			continue
+		}
+		lines = append(lines, d.Pos.Line)
+	}
+	if want := []int{9, 13}; fmt.Sprint(lines) != fmt.Sprint(want) {
+		t.Errorf("surviving finding lines = %v, want %v", lines, want)
+	}
+}
+
+// TestMalformedSuppression checks that a reasonless directive is reported
+// as a tracelint diagnostic and does not silence anything.
+func TestMalformedSuppression(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "m.go"), `package m
+
+//lint:ignore synth
+func A() {}
+`)
+	synth := &Analyzer{
+		Name: "synth",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					pass.Reportf(d.Pos(), "decl finding")
+				}
+			}
+		},
+	}
+	pass, err := NewChecker().CheckDir(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(pass, []*Analyzer{synth})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (finding + malformed directive): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "tracelint" || !strings.Contains(diags[0].Message, "malformed suppression") {
+		t.Errorf("first diagnostic = %s, want tracelint malformed-suppression", diags[0])
+	}
+	if diags[1].Analyzer != "synth" {
+		t.Errorf("second diagnostic = %s, want the unsuppressed synth finding", diags[1])
+	}
+}
