@@ -1,0 +1,217 @@
+// Command t2campaign runs fault-injection campaigns over the OpenSPARC T2
+// usage scenarios and scores how well competing traced-message sets let the
+// debugger localize the injected bugs — the §4 claim, at campaign scale:
+// the MI-selected 32-bit set localizes bugs the structural baselines miss.
+//
+//	t2campaign                      # full grid: all scenarios × catalog bugs
+//	t2campaign -scenario 2          # one usage scenario
+//	t2campaign -reps 3 -seed 7      # repeat each cell, reseeded per run
+//	t2campaign -sets mi,widest      # score a subset of the message sets
+//	t2campaign -json report.json    # write the full deterministic report
+//	t2campaign -workers 8           # shard runs (report is identical anyway)
+//	t2campaign -metrics-json m.json # dump campaign.* observability counters
+//
+// Message sets: mi (the paper's Steps 1-3 selection), widest (widest-first
+// structural baseline), pagerank (PRNet-style message-dependency PageRank),
+// random (seeded random feasible set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tracescale/internal/campaign"
+	"tracescale/internal/core"
+	"tracescale/internal/exp"
+	"tracescale/internal/obs"
+	"tracescale/internal/opensparc"
+	"tracescale/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "t2campaign:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a bad invocation: usage was already printed, exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// launchStride staggers instance start cycles, matching the exp harness.
+const launchStride = 24
+
+// run executes one t2campaign invocation against the given argument list,
+// writing the scorecard summary to w. main is a thin exit-code shim around
+// it, so tests drive the full CLI in-process with a bytes.Buffer.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("t2campaign", flag.ContinueOnError)
+	var (
+		scenario = fs.Int("scenario", 0, "run one usage scenario (1-3; 0 = all)")
+		reps     = fs.Int("reps", 1, "repetitions per (scenario, bug) cell, reseeded per run")
+		seed     = fs.Int64("seed", 1, "campaign master seed")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); any value yields the same report")
+		sets     = fs.String("sets", "mi,widest,pagerank,random", "comma-separated message sets to score")
+		jsonPath = fs.String("json", "", "write the full deterministic JSON report to this file")
+		timeout  = fs.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
+		retries  = fs.Int("retries", 1, "retries per timed-out run")
+		metrics  = fs.String("metrics-json", "", "write the campaign.* observability snapshot as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	var ids []int
+	if *scenario == 0 {
+		for _, s := range opensparc.Scenarios() {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		ids = []int{*scenario}
+	}
+	setNames := strings.Split(*sets, ",")
+	reg := obs.NewRegistry()
+	spec, err := buildSpec(ids, setNames, *seed)
+	if err != nil {
+		return err
+	}
+	spec.Reps = *reps
+	spec.Workers = *workers
+	spec.Timeout = *timeout
+	spec.Retries = *retries
+	spec.Obs = reg
+
+	rep, err := campaign.Run(spec)
+	if err != nil {
+		return err
+	}
+	renderSummary(w, rep)
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			return err
+		}
+	}
+	if *metrics != "" {
+		return reg.WriteFile(*metrics)
+	}
+	return nil
+}
+
+// buildSpec assembles the campaign over the requested T2 usage scenarios:
+// per scenario, the workload launches, cause catalog, the catalog bugs
+// whose target message exists in the scenario universe, and one traced
+// message set per requested selector.
+func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec, error) {
+	spec := campaign.Spec{Name: "t2", Seed: seed, MaxCycles: 0}
+	for _, id := range scenarioIDs {
+		s, err := opensparc.ScenarioByID(id)
+		if err != nil {
+			return spec, err
+		}
+		causes, err := opensparc.Causes(id)
+		if err != nil {
+			return spec, err
+		}
+		universe := s.Universe()
+		inUniverse := make(map[string]bool, len(universe))
+		for _, m := range universe {
+			inUniverse[m.Name] = true
+		}
+		var bugs []opensparc.Bug
+		for _, b := range opensparc.Bugs() {
+			if inUniverse[b.Target] {
+				bugs = append(bugs, b)
+			}
+		}
+		var msets []campaign.MessageSet
+		for _, name := range setNames {
+			traced, err := tracedFor(name, s, seed)
+			if err != nil {
+				return spec, err
+			}
+			msets = append(msets, campaign.MessageSet{Name: name, Traced: traced})
+		}
+		spec.Scenarios = append(spec.Scenarios, campaign.Scenario{
+			Name:     fmt.Sprintf("scenario-%d", s.ID),
+			Launches: s.Launches(exp.InstancesPerFlow, launchStride),
+			Universe: universe,
+			Flows:    s.Flows(),
+			Causes:   causes,
+			Bugs:     bugs,
+			Sets:     msets,
+		})
+	}
+	return spec, nil
+}
+
+// tracedFor resolves one selector name to its traced message set for the
+// scenario, all at the paper's 32-bit buffer width.
+func tracedFor(name string, s opensparc.Scenario, seed int64) ([]string, error) {
+	ses, err := pipeline.For(s.Instances())
+	if err != nil {
+		return nil, err
+	}
+	e := ses.Evaluator()
+	switch name {
+	case "mi":
+		res, err := ses.Select(core.Config{BufferWidth: exp.BufferWidth})
+		if err != nil {
+			return nil, err
+		}
+		return res.TracedNames(), nil
+	case "widest":
+		c, err := core.WidestFirstBaseline(e, exp.BufferWidth)
+		if err != nil {
+			return nil, err
+		}
+		return c.Messages, nil
+	case "pagerank":
+		c, err := core.PageRankBaseline(e, exp.BufferWidth)
+		if err != nil {
+			return nil, err
+		}
+		return c.Messages, nil
+	case "random":
+		c, err := core.RandomBaseline(e, exp.BufferWidth, seed)
+		if err != nil {
+			return nil, err
+		}
+		return c.Messages, nil
+	default:
+		return nil, fmt.Errorf("unknown message set %q (have mi, widest, pagerank, random)", name)
+	}
+}
+
+// renderSummary prints the campaign header, outcome tally, and the per-set
+// localization scorecard.
+func renderSummary(w io.Writer, rep *campaign.Report) {
+	fmt.Fprintf(w, "t2 campaign: seed %d, %d scenario(s), %d cell(s) x %d rep(s) = %d run(s)\n",
+		rep.Seed, rep.Grid.Scenarios, rep.Grid.Cells, rep.Grid.Reps, rep.Grid.Runs)
+	tally := make(map[string]int)
+	for _, r := range rep.Runs {
+		tally[r.Outcome]++
+	}
+	outcomes := make([]string, 0, len(tally))
+	for o := range tally {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	fmt.Fprintf(w, "outcomes:")
+	for _, o := range outcomes {
+		fmt.Fprintf(w, " %s %d", o, tally[o])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %8s %9s %9s %9s %9s %11s %11s\n",
+		"set", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus")
+	for _, c := range rep.Scorecards {
+		fmt.Fprintf(w, "%-10s %8d %9d %9d %9d %9d %11.2f %11.2f\n",
+			c.Set, c.SymptomRuns, c.RunsDetected, c.RunsLocalized,
+			c.BugsDetected, c.BugsLocalized, c.MeanDepth, c.MeanPlausible)
+	}
+}

@@ -8,7 +8,8 @@ import (
 // ClockRand guards run reproducibility: the simulator, the selection
 // pipeline, and the information-gain computation must be pure functions of
 // their inputs and seeds, so the fuzz corpus and the paper's goldens replay
-// bit-identically. In internal/{core,interleave,flow,soc,info} it forbids
+// bit-identically. In internal/{core,interleave,flow,soc,info,campaign} it
+// forbids
 //
 //   - reading the wall clock: time.Now, time.Since, time.Until (trace
 //     events carry sequence numbers, not timestamps; the only sanctioned
@@ -21,7 +22,7 @@ import (
 var ClockRand = &Analyzer{
 	Name:  "clockrand",
 	Doc:   "no wall clock or global math/rand in the deterministic packages; inject seeds and clocks",
-	Scope: []string{"core", "interleave", "flow", "soc", "info"},
+	Scope: []string{"core", "interleave", "flow", "soc", "info", "campaign"},
 	Run:   runClockRand,
 }
 

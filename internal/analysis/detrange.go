@@ -9,8 +9,8 @@ import (
 // DetRange guards the selection pipeline's determinism invariant: parallel
 // and serial runs — and any two runs at all — must produce byte-identical
 // Results, so map iteration order must never reach persistent state. In
-// internal/{core,interleave,flow} a range over a map is flagged when its
-// body
+// internal/{core,interleave,flow,campaign} a range over a map is flagged
+// when its body
 //
 //   - appends to a slice declared outside the loop, unless the slice is
 //     passed to a sort.* / slices.* call later in the same function (the
@@ -25,7 +25,7 @@ import (
 var DetRange = &Analyzer{
 	Name:  "detrange",
 	Doc:   "map iteration order must not reach slices, returns, or float accumulation in the selection pipeline",
-	Scope: []string{"core", "interleave", "flow"},
+	Scope: []string{"core", "interleave", "flow", "campaign"},
 	Run:   runDetRange,
 }
 

@@ -1,0 +1,63 @@
+// Package campaign is golden input for the clockrand and detrange
+// analyzers in the campaign-runner scope: a campaign must derive every
+// run's seed from its grid index (no wall clock, no global rand) and
+// aggregate records in sorted order (no map-order leaks).
+package campaign
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SeedFromClock derives a campaign seed from the wall clock — the exact
+// bug the DerivedSeed(seed, index) scheme exists to prevent.
+func SeedFromClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// ShuffledGrid orders grid points with the process-global source.
+func ShuffledGrid(points []int) {
+	rand.Shuffle(len(points), func(i, j int) { // want `math/rand\.Shuffle draws from the process-global source`
+		points[i], points[j] = points[j], points[i]
+	})
+}
+
+// AggregateByMap walks a per-bug tally in map order and appends into a
+// report slice that outlives the loop — the scorecard would depend on
+// completion order.
+func AggregateByMap(tally map[int]int) []int {
+	var rows []int
+	for bug := range tally {
+		rows = append(rows, bug) // want `append to rows in map-iteration order without a later sort`
+	}
+	return rows
+}
+
+// MeanDepthByMap accumulates a float mean in map order: the low bits of
+// the scorecard would jitter run-to-run.
+func MeanDepthByMap(depths map[string]float64) float64 {
+	var sum float64
+	for _, d := range depths {
+		sum += d // want `float accumulation in map-iteration order is not bit-reproducible`
+	}
+	return sum / float64(len(depths))
+}
+
+// SortedAggregate is the sanctioned collect-then-sort idiom.
+func SortedAggregate(tally map[int]int) []int {
+	var rows []int
+	for bug := range tally {
+		rows = append(rows, bug)
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// DerivedSeed mirrors the runner's pure seed derivation: no clock, no
+// global rand, nothing to flag.
+func DerivedSeed(seed int64, index int) int64 {
+	x := uint64(seed) ^ (uint64(index+1) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	return int64(x)
+}

@@ -72,6 +72,7 @@ func TestGoldenPackages(t *testing.T) {
 		}},
 		{dir: "soc", importPath: "soc"},
 		{dir: "obsdrop", importPath: "obsdrop"},
+		{dir: "campaign", importPath: "campaign"},
 		// clean is checked under a path that puts every scoped analyzer in
 		// scope; it must produce zero findings.
 		{dir: "clean", importPath: "core/obs/clean"},
@@ -130,6 +131,8 @@ func TestGoldenTripCounts(t *testing.T) {
 		{"core", "core", "detrange", 3},
 		{"soc", "soc", "clockrand", 4},
 		{"obsdrop", "obsdrop", "obsdrop", 2},
+		{"campaign", "campaign", "clockrand", 2},
+		{"campaign", "campaign", "detrange", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

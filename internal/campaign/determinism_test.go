@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"tracescale/internal/obs"
+)
+
+// TestCampaignDeterminismAcrossWorkers is the acceptance criterion for the
+// runner: the same campaign seed and grid must serialize to a byte-identical
+// JSON report at every worker count. Runs race against each other for slice
+// slots and scorecard aggregation under -race, so this test also proves the
+// sharding is data-race free.
+func TestCampaignDeterminismAcrossWorkers(t *testing.T) {
+	// Two scenarios exercise the multi-scenario grid indexing; reps 2
+	// exercise the rep axis.
+	build := func() Spec {
+		return Spec{
+			Name: "det",
+			Seed: 99,
+			Reps: 2,
+			Scenarios: []Scenario{
+				testScenario(t, "s1", 4),
+				testScenario(t, "s2", 6),
+			},
+		}
+	}
+	render := func(workers int) []byte {
+		spec := build()
+		spec.Workers = workers
+		rep, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	if len(want) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); !bytes.Equal(got, want) {
+			t.Errorf("Workers=%d report differs from Workers=1 (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+	// Same worker count twice: completion order must not leak either.
+	if got := render(4); !bytes.Equal(got, want) {
+		t.Error("two Workers=4 campaigns disagree")
+	}
+}
+
+// The report must also be independent of whether metrics are collected:
+// the registry observes the campaign, it must not perturb it.
+func TestCampaignReportIndependentOfRegistry(t *testing.T) {
+	render := func(withObs bool) []byte {
+		spec := testSpec(t)
+		if withObs {
+			spec.Obs = obs.NewRegistry()
+		}
+		rep, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(false), render(true)) {
+		t.Error("instrumented and uninstrumented campaigns disagree")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/interleave"
+	"tracescale/internal/synth"
+)
+
+// TestGreedyVsExhaustiveDifferential pins greedy-vs-exhaustive agreement on
+// random small instances (<= 4 flows, budget <= 12): greedy's selection
+// gain must stay within the documented 1/2 approximation bound of the
+// exhaustive optimum (see the Greedy doc comment), knapsack must match
+// exhaustive exactly (both are exact Step-2 solvers), and no heuristic may
+// ever beat the exhaustive reference. Seeds are fixed, so the instances —
+// and the empirical bound — are pinned.
+func TestGreedyVsExhaustiveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	trials := 0
+	for trial := 0; trial < 40; trial++ {
+		nFlows := 1 + rng.Intn(4)
+		insts := make([]flow.Instance, nFlows)
+		for i := range insts {
+			f, err := synth.Flow(fmt.Sprintf("t%d_f%d", trial, i), synth.Params{
+				States:   3 + rng.Intn(3),
+				Branch:   0.3,
+				MaxWidth: 6,
+				IPs:      3,
+			}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts[i] = flow.Instance{Flow: f, Index: 1}
+		}
+		p, err := interleave.New(insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 1 + rng.Intn(12)
+
+		ex, _, exErr := selectExhaustive(e, Config{BufferWidth: budget, MaxCandidates: defaultMaxCandidates})
+		gr, grErr := selectGreedy(e, budget)
+		kn, knErr := selectKnapsack(e, budget)
+		if exErr != nil {
+			// Nothing fits: every solver must agree on infeasibility.
+			if grErr == nil || knErr == nil {
+				t.Errorf("trial %d budget %d: exhaustive infeasible (%v) but greedy err = %v, knapsack err = %v",
+					trial, budget, exErr, grErr, knErr)
+			}
+			continue
+		}
+		if grErr != nil || knErr != nil {
+			t.Errorf("trial %d budget %d: exhaustive feasible but greedy err = %v, knapsack err = %v",
+				trial, budget, grErr, knErr)
+			continue
+		}
+		trials++
+		const eps = 1e-9
+		if kn.Gain < ex.Gain-eps || kn.Gain > ex.Gain+eps {
+			t.Errorf("trial %d budget %d: knapsack gain %.12f != exhaustive %.12f (both exact)",
+				trial, budget, kn.Gain, ex.Gain)
+		}
+		if gr.Gain > ex.Gain+eps {
+			t.Errorf("trial %d budget %d: greedy gain %.12f beats the exhaustive optimum %.12f",
+				trial, budget, gr.Gain, ex.Gain)
+		}
+		if gr.Gain < 0.5*ex.Gain-eps {
+			t.Errorf("trial %d budget %d: greedy gain %.12f below 1/2 of exhaustive %.12f — documented bound violated (selected %v vs %v)",
+				trial, budget, gr.Gain, ex.Gain, gr.Messages, ex.Messages)
+		}
+		if gr.Width > budget || kn.Width > budget || ex.Width > budget {
+			t.Errorf("trial %d: a solver exceeded the %d-bit budget (ex %d, gr %d, kn %d)",
+				trial, budget, ex.Width, gr.Width, kn.Width)
+		}
+	}
+	if trials < 20 {
+		t.Fatalf("only %d feasible trials — the generator parameters drifted", trials)
+	}
+}
+
+// At a width-1 budget at most one (width-1) message fits, so density order
+// and exhaustive enumeration coincide: greedy must be exact.
+func TestGreedyExactAtWidthOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	exact := 0
+	for trial := 0; trial < 30; trial++ {
+		f, err := synth.Flow(fmt.Sprintf("w1_%d", trial), synth.Params{
+			States:   4 + rng.Intn(3),
+			MaxWidth: 3, // widths 1-3: width-1 messages are common
+			IPs:      3,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := interleave.New([]flow.Instance{{Flow: f, Index: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEvaluator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, _, exErr := selectExhaustive(e, Config{BufferWidth: 1, MaxCandidates: defaultMaxCandidates})
+		gr, grErr := selectGreedy(e, 1)
+		if exErr != nil {
+			if grErr == nil {
+				t.Errorf("trial %d: exhaustive infeasible at width 1 but greedy selected %v", trial, gr.Messages)
+			}
+			continue
+		}
+		if grErr != nil {
+			t.Errorf("trial %d: exhaustive found %v at width 1 but greedy errored: %v", trial, ex.Messages, grErr)
+			continue
+		}
+		exact++
+		if math.Abs(gr.Gain-ex.Gain) > 1e-12 {
+			t.Errorf("trial %d: width-1 greedy gain %.12f != exhaustive %.12f (%v vs %v)",
+				trial, gr.Gain, ex.Gain, gr.Messages, ex.Messages)
+		}
+	}
+	if exact < 10 {
+		t.Fatalf("only %d feasible width-1 trials — raise the width-1 message density", exact)
+	}
+}

@@ -25,8 +25,14 @@ const (
 	// programming, exploiting the additivity of the gain metric. This is
 	// the scalable selector.
 	Knapsack
-	// Greedy adds messages in decreasing gain density (gain per bit).
-	// Fastest, not always optimal; provided for the scalability ablation.
+	// Greedy adds messages in decreasing gain density (gain per bit),
+	// skipping what no longer fits. Fastest, not always optimal: the
+	// density heuristic for additive gains carries no worst-case knapsack
+	// guarantee in general, but on this codebase's instances it stays
+	// within 1/2 of the exact optimum — the documented approximation bound
+	// pinned by TestGreedyVsExhaustiveDifferential — and is exact whenever
+	// at most one message fits (e.g. a width-1 budget). Provided for the
+	// scalability ablation; use Knapsack for exactness at scale.
 	Greedy
 	// MaxCoverage greedily maximizes flow-specification coverage directly
 	// instead of information gain — the ablation behind §5.3: if gain is a

@@ -1,0 +1,93 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracescale/internal/flow"
+	"tracescale/internal/soc"
+)
+
+// FuzzBugApply drives Bug.Triggered/Apply over arbitrary events, kinds,
+// and gating fields. The invariants the campaign runner leans on:
+// Apply never panics, a non-triggered bug returns the identity outcome,
+// and a triggered always-on bug stamps its ID with the kind's effect.
+func FuzzBugApply(f *testing.F) {
+	f.Add(1, "m", "m", int(Corrupt), 3, 2, 3, 2, uint64(0xF0), uint64(10), 0.0, "Z", uint64(0xAB), int64(1))
+	f.Add(2, "m", "other", int(Drop), 0, 0, 5, 0, uint64(0), uint64(0), 0.5, "", uint64(1), int64(7))
+	f.Add(3, "a", "a", int(Misroute), 1, 0, 0, 9, uint64(0), uint64(0), 1.0, "Q", uint64(0), int64(-4))
+	f.Add(4, "b", "b", int(Delay), 2, 1, 2, 1, uint64(0), uint64(1<<40), 0.0, "", uint64(3), int64(0))
+	f.Add(5, "c", "c", 99, 0, 0, 0, 0, uint64(7), uint64(7), 0.0, "R", uint64(9), int64(9))
+	f.Fuzz(func(t *testing.T, id int, target, evName string, kind, afterIdx, afterOcc, evIdx, evOcc int,
+		xorMask, delayBy uint64, prob float64, newDst string, data uint64, seed int64) {
+		b := Bug{
+			ID: id, Kind: Kind(kind), Target: target,
+			XorMask: xorMask, NewDst: newDst, DelayBy: delayBy,
+			AfterIndex: afterIdx, AfterOccurrence: afterOcc,
+			Probability: prob,
+		}
+		ev := soc.Event{
+			Msg:        flow.IndexedMsg{Name: evName, Index: evIdx},
+			Occurrence: evOcc,
+			Data:       data,
+		}
+		triggered := b.Triggered(ev)
+		if want := evName == target && evIdx >= afterIdx && evOcc >= afterOcc; triggered != want {
+			t.Fatalf("Triggered = %v, want %v (name %q/%q idx %d/%d occ %d/%d)",
+				triggered, want, evName, target, evIdx, afterIdx, evOcc, afterOcc)
+		}
+		out := b.Apply(ev, rand.New(rand.NewSource(seed)))
+		if !triggered {
+			if out != (soc.Outcome{}) {
+				t.Fatalf("non-triggered bug perturbed the event: %+v", out)
+			}
+			return
+		}
+		if out == (soc.Outcome{}) {
+			// A triggered bug may return the identity outcome in exactly
+			// two legal ways: a probabilistic hold (Probability in (0, 1);
+			// 0, NaN and negatives fail the > 0 gate and mean always, >= 1
+			// always beats the roll), or an ID-0 bug whose kind carries no
+			// effect payload (unknown kind, Misroute to "", Delay by 0) —
+			// indistinguishable from no injection by construction.
+			mayHold := prob > 0 && prob < 1
+			effectless := id == 0 &&
+				(b.Kind == Misroute && newDst == "" ||
+					b.Kind == Delay && delayBy == 0 ||
+					b.Kind != Corrupt && b.Kind != Drop && b.Kind != Misroute && b.Kind != Delay)
+			if !mayHold && !effectless {
+				t.Fatalf("always-on triggered bug returned the identity outcome (prob %g)", prob)
+			}
+			return
+		}
+		if out.Bug != id {
+			t.Fatalf("outcome bug id = %d, want %d", out.Bug, id)
+		}
+		switch b.Kind {
+		case Corrupt:
+			if out.XorMask == 0 {
+				t.Fatal("corrupt outcome with zero mask (must normalize to 1)")
+			}
+			if xorMask != 0 && out.XorMask != xorMask {
+				t.Fatalf("corrupt mask = %#x, want %#x", out.XorMask, xorMask)
+			}
+		case Drop:
+			if !out.Drop {
+				t.Fatal("drop outcome without Drop")
+			}
+		case Misroute:
+			if out.Misroute != newDst {
+				t.Fatalf("misroute dst = %q, want %q", out.Misroute, newDst)
+			}
+		case Delay:
+			if out.Delay != delayBy {
+				t.Fatalf("delay = %d, want %d", out.Delay, delayBy)
+			}
+		default:
+			// Unknown kinds perturb nothing beyond the ID stamp.
+			if out.Drop || out.XorMask != 0 || out.Misroute != "" || out.Delay != 0 {
+				t.Fatalf("unknown kind %d carried an effect: %+v", kind, out)
+			}
+		}
+	})
+}
