@@ -108,17 +108,8 @@ func run(args []string, w io.Writer) error {
 	if *width > 0 {
 		cfg.BufferWidth = *width
 	}
-	switch *method {
-	case "exhaustive":
-		cfg.Method = core.Exhaustive
-	case "knapsack":
-		cfg.Method = core.Knapsack
-	case "greedy":
-		cfg.Method = core.Greedy
-	case "max-coverage":
-		cfg.Method = core.MaxCoverage
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	if cfg.Method, err = core.ParseMethod(*method); err != nil {
+		return err
 	}
 	res, err := ses.Select(cfg)
 	if err != nil {

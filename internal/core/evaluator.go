@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tracescale/internal/flow"
 	"tracescale/internal/info"
@@ -29,6 +30,12 @@ type Evaluator struct {
 	visibleOf []bitset       // per-universe-message visible product states, packed
 	widthOf   []int          // per-universe-message trace width (cached TraceWidth)
 	totalOcc  int
+
+	// feasibleBy memoizes countFeasible per budget — the width multiset is
+	// immutable after construction, so the subset-sum DP runs at most once
+	// per distinct budget even across concurrent Selects.
+	feasibleMu sync.Mutex
+	feasibleBy map[int]int64
 }
 
 // NewEvaluator analyzes the interleaved flow. It fails if two flows declare
@@ -36,8 +43,9 @@ type Evaluator struct {
 // a message name must identify one physical interface signal group.
 func NewEvaluator(p *interleave.Product) (*Evaluator, error) {
 	e := &Evaluator{
-		p:      p,
-		byName: make(map[string]int),
+		p:          p,
+		byName:     make(map[string]int),
+		feasibleBy: make(map[int]int64),
 	}
 	for _, in := range p.Instances() {
 		for _, m := range in.Flow.Messages() {

@@ -56,6 +56,24 @@ func (m Method) String() string {
 	}
 }
 
+// ParseMethod maps a method name (the String form) back to the Method —
+// the inverse the CLI flags and the serving layer share. The empty string
+// selects Exhaustive, the zero Config default.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "", "exhaustive":
+		return Exhaustive, nil
+	case "knapsack":
+		return Knapsack, nil
+	case "greedy":
+		return Greedy, nil
+	case "max-coverage":
+		return MaxCoverage, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q", name)
+	}
+}
+
 // Config parameterizes Select.
 type Config struct {
 	// BufferWidth is the trace buffer width in bits (the paper uses 32).
@@ -151,8 +169,24 @@ const defaultMaxCandidates = 1 << 22
 // entirely skipped for unobserved evaluators so the hot path stays at the
 // uninstrumented baseline.
 func Select(e *Evaluator, cfg Config) (*Result, error) {
+	return SelectContext(context.Background(), e, cfg)
+}
+
+// SelectContext is Select with cooperative cancellation: when ctx is
+// cancelled, the exhaustive shard workers abort their mask scans at the
+// next poll boundary (every cancelCheckMasks masks) and SelectContext
+// returns ctx's error. With an uncancelled context the result is
+// byte-identical to Select — cancellation polling never touches the
+// incumbent-best state, so it cannot perturb tie-breaks. Cancelled runs
+// increment core.select.cancelled on observed evaluators.
+func SelectContext(ctx context.Context, e *Evaluator, cfg Config) (*Result, error) {
 	if cfg.BufferWidth < 1 {
 		return nil, fmt.Errorf("core: non-positive trace buffer width %d", cfg.BufferWidth)
+	}
+	if cfg.MaxCandidates < 0 {
+		// A negative bound would wrap to ~2^64 at the uint64 enumeration
+		// guard and let arbitrarily large mask spaces through; reject it.
+		return nil, fmt.Errorf("core: negative MaxCandidates %d", cfg.MaxCandidates)
 	}
 	if cfg.MaxCandidates == 0 {
 		cfg.MaxCandidates = defaultMaxCandidates
@@ -172,7 +206,7 @@ func Select(e *Evaluator, cfg Config) (*Result, error) {
 	var err error
 	switch cfg.Method {
 	case Exhaustive:
-		best, all, err = selectExhaustive(e, cfg)
+		best, all, err = selectExhaustive(ctx, e, cfg)
 	case Knapsack:
 		best, err = selectKnapsack(e, cfg.BufferWidth)
 	case Greedy:
@@ -183,6 +217,9 @@ func Select(e *Evaluator, cfg Config) (*Result, error) {
 		err = fmt.Errorf("core: unknown method %v", cfg.Method)
 	}
 	if err != nil {
+		if reg != nil && ctx.Err() != nil {
+			reg.Counter("core.select.cancelled").Inc()
+		}
 		return nil, err
 	}
 
@@ -277,6 +314,11 @@ func tieScored(a, b scored) bool {
 	return !betterScored(a, b) && !betterScored(b, a)
 }
 
+// cancelCheckMasks is how many masks a scan processes between context
+// polls: coarse enough that the poll never shows up in profiles, fine
+// enough that a cancelled shard aborts within a fraction of a millisecond.
+const cancelCheckMasks = 1 << 13
+
 // scanMasks enumerates masks in [lo, hi), keeping the incumbent-best under
 // the better predicate (ascending scan, so the lowest tied mask wins) and,
 // when keep is set, every feasible candidate in mask order. The scratch
@@ -284,44 +326,65 @@ func tieScored(a, b scored) bool {
 // range was width-feasible. The loop carries no counters beyond the
 // incumbent — even a single extra increment here is measurable — so the
 // observability layer derives the feasible-mask count arithmetically
-// (countFeasible) instead of tallying it in the scan.
-func (e *Evaluator) scanMasks(lo, hi uint64, budget int, keep bool) (best scored, found bool, all []Candidate) {
+// (countFeasible) instead of tallying it in the scan, and cancellation is
+// polled only at chunk boundaries (every cancelCheckMasks masks), keeping
+// the inner loop byte-identical to the uncancellable original. A non-nil
+// err means the scan aborted on ctx and the partial results are invalid.
+func (e *Evaluator) scanMasks(ctx context.Context, lo, hi uint64, budget int, keep bool) (best scored, found bool, all []Candidate, err error) {
 	numStates := float64(e.p.NumStates())
 	vis := newBitset(e.p.NumStates())
-	for mask := lo; mask < hi; mask++ {
-		width := 0
-		for m := mask; m != 0; m &= m - 1 {
-			width += e.widthOf[bits.TrailingZeros64(m)]
+	for chunkLo := lo; chunkLo < hi; chunkLo += cancelCheckMasks {
+		if err := ctx.Err(); err != nil {
+			return scored{}, false, nil, err
 		}
-		if width > budget {
-			continue
+		chunkHi := chunkLo + cancelCheckMasks
+		if chunkHi > hi || chunkHi < chunkLo { // clamp, and guard uint64 wrap
+			chunkHi = hi
 		}
-		gain := 0.0
-		vis.clear()
-		for m := mask; m != 0; m &= m - 1 {
-			i := bits.TrailingZeros64(m)
-			gain += e.gainOf[i]
-			vis.or(e.visibleOf[i])
-		}
-		c := scored{mask: mask, width: width, gain: gain, coverage: float64(vis.count()) / numStates}
-		if keep {
-			all = append(all, e.candidateFromScored(c))
-		}
-		if !found || betterScored(c, best) {
-			best = c
-			found = true
+		for mask := chunkLo; mask < chunkHi; mask++ {
+			width := 0
+			for m := mask; m != 0; m &= m - 1 {
+				width += e.widthOf[bits.TrailingZeros64(m)]
+			}
+			if width > budget {
+				continue
+			}
+			gain := 0.0
+			vis.clear()
+			for m := mask; m != 0; m &= m - 1 {
+				i := bits.TrailingZeros64(m)
+				gain += e.gainOf[i]
+				vis.or(e.visibleOf[i])
+			}
+			c := scored{mask: mask, width: width, gain: gain, coverage: float64(vis.count()) / numStates}
+			if keep {
+				all = append(all, e.candidateFromScored(c))
+			}
+			if !found || betterScored(c, best) {
+				best = c
+				found = true
+			}
 		}
 	}
-	return best, found, all
+	return best, found, all, nil
 }
 
 // countFeasible returns how many nonempty message subsets have total trace
 // width within budget — the exact number of masks scanMasks scores rather
-// than prunes. Subset-sum counting over the width multiset, O(n × budget):
-// cheap enough to run per observed Select, and it keeps the enumeration
-// loop itself free of bookkeeping. The count fits int64 because exhaustive
-// enumeration is capped at MaxCandidates masks total.
+// than prunes. Subset-sum counting over the width multiset, O(n × budget),
+// keeps the enumeration loop itself free of bookkeeping. The count is a
+// pure function of the evaluator's width multiset, so it is memoized per
+// budget: repeat observed Selects at one budget pay a map lookup, not the
+// DP (core.select.feasible_dp_runs counts the actual DP executions). The
+// count fits int64 because exhaustive enumeration is capped at
+// MaxCandidates masks total.
 func (e *Evaluator) countFeasible(budget int) int64 {
+	e.feasibleMu.Lock()
+	defer e.feasibleMu.Unlock()
+	if total, ok := e.feasibleBy[budget]; ok {
+		return total
+	}
+	e.p.Obs().Counter("core.select.feasible_dp_runs").Inc()
 	dp := make([]int64, budget+1)
 	dp[0] = 1
 	for _, w := range e.widthOf {
@@ -336,7 +399,9 @@ func (e *Evaluator) countFeasible(budget int) int64 {
 	for _, n := range dp {
 		total += n
 	}
-	return total - 1 // the empty subset is never enumerated
+	total-- // the empty subset is never enumerated
+	e.feasibleBy[budget] = total
+	return total
 }
 
 // candidateFromScored materializes the Candidate for a scored mask.
@@ -356,7 +421,12 @@ func (e *Evaluator) candidateFromScored(s scored) Candidate {
 // mask), so any worker count — including one — selects a byte-identical
 // result. The lowest-mask tie-break is what reproduces the paper's choice
 // of {ReqE, GntE} among the toy example's three gain-tied pairs.
-func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) {
+//
+// Cancelling ctx makes every shard abort at its next poll boundary; the
+// join then discards the partial incumbents and returns ctx's error, so a
+// cancelled selection never leaks a half-scanned result. Aborted shards
+// are tallied in core.select.shards_cancelled on observed evaluators.
+func selectExhaustive(ctx context.Context, e *Evaluator, cfg Config) (Candidate, []Candidate, error) {
 	n := len(e.universe)
 	if n >= 63 {
 		return Candidate{}, nil, fmt.Errorf("core: %d messages is too many for exhaustive enumeration; use Knapsack", n)
@@ -386,12 +456,20 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 		all   []Candidate
 	)
 	if workers == 1 {
-		best, found, all = e.scanMasks(1, end, cfg.BufferWidth, cfg.KeepCandidates)
+		var err error
+		best, found, all, err = e.scanMasks(ctx, 1, end, cfg.BufferWidth, cfg.KeepCandidates)
+		if err != nil {
+			if reg := e.p.Obs(); reg != nil {
+				reg.Counter("core.select.shards_cancelled").Inc()
+			}
+			return Candidate{}, nil, err
+		}
 	} else {
 		type shard struct {
 			best  scored
 			found bool
 			all   []Candidate
+			err   error
 		}
 		shards := make([]shard, workers)
 		span := (end - 1) / uint64(workers)
@@ -410,10 +488,24 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 				func(context.Context) {
 					defer wg.Done()
 					s := &shards[w]
-					s.best, s.found, s.all = e.scanMasks(lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
+					s.best, s.found, s.all, s.err = e.scanMasks(ctx, lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
 				})
 		}
 		wg.Wait()
+		// Every shard goroutine has exited by here; a cancelled scan leaves
+		// errored shards whose partial incumbents must not reach the merge.
+		var cancelled int64
+		for _, s := range shards {
+			if s.err != nil {
+				cancelled++
+			}
+		}
+		if cancelled > 0 {
+			if reg := e.p.Obs(); reg != nil {
+				reg.Add("core.select.shards_cancelled", cancelled)
+			}
+			return Candidate{}, nil, ctx.Err()
+		}
 		// Merge in ascending shard (= ascending mask) order. Strict-better
 		// replacement plus the explicit lowest-mask tie-break reproduces the
 		// serial incumbent rule even if shard order were ever perturbed.
@@ -445,23 +537,51 @@ func selectExhaustive(e *Evaluator, cfg Config) (Candidate, []Candidate, error) 
 
 // selectKnapsack solves Step 2 exactly: because gain is additive across
 // messages, the max-gain feasible combination is a 0/1 knapsack with
-// value = gain and weight = width. O(n × BufferWidth) time.
+// value = gain and weight = width. O(n × BufferWidth) DP cells, each
+// carrying the exact coverage bitset of its chosen set so gain ties break
+// toward higher coverage — the same secondary objective better() gives the
+// exhaustive reference. Without the tie-break, a degenerate universe where
+// every gain is zero (e.g. a single-execution product, whose entropy is 0)
+// would never strictly improve any cell and the DP would return an empty
+// Candidate with no error. Item order plus strict-improvement replacement
+// prefers excluding later universe messages on full ties, mirroring
+// exhaustive's lowest-mask rule.
 func selectKnapsack(e *Evaluator, budget int) (Candidate, error) {
 	n := len(e.universe)
-	// dp[w] = best gain using width exactly ≤ w; choice tracks taken items.
-	dp := make([]float64, budget+1)
+	// dp[c] = best (gain, coverage) using total width ≤ c. cov holds the
+	// exact visible-state union of the set behind the cell — coverage is not
+	// additive, so the tie-break needs the real union, not a per-item sum.
+	type cell struct {
+		gain float64
+		covN int
+		cov  bitset
+	}
+	dp := make([]cell, budget+1)
+	for c := range dp {
+		dp[c].cov = newBitset(e.p.NumStates())
+	}
 	take := make([][]bool, n)
 	feasible := false
 	for i := 0; i < n; i++ {
 		take[i] = make([]bool, budget+1)
-		w := e.universe[i].TraceWidth()
-		if w <= budget {
-			feasible = true
+		w := e.widthOf[i]
+		if w > budget {
+			continue
 		}
+		feasible = true
 		g := e.gainOf[i]
 		for c := budget; c >= w; c-- {
-			if cand := dp[c-w] + g; cand > dp[c]+1e-15 {
-				dp[c] = cand
+			prev := &dp[c-w]
+			candGain := prev.gain + g
+			if candGain < dp[c].gain-1e-15 {
+				continue
+			}
+			candCovN := prev.covN + prev.cov.freshFrom(e.visibleOf[i])
+			if candGain > dp[c].gain+1e-15 || candCovN > dp[c].covN {
+				cov := newBitset(e.p.NumStates())
+				cov.or(prev.cov)
+				cov.or(e.visibleOf[i])
+				dp[c] = cell{gain: candGain, covN: candCovN, cov: cov}
 				take[i][c] = true
 			}
 		}
@@ -472,10 +592,23 @@ func selectKnapsack(e *Evaluator, budget int) (Candidate, error) {
 	// Recover the chosen set.
 	chosen := make([]bool, n)
 	c := budget
+	any := false
 	for i := n - 1; i >= 0; i-- {
 		if take[i][c] {
 			chosen[i] = true
-			c -= e.universe[i].TraceWidth()
+			c -= e.widthOf[i]
+			any = true
+		}
+	}
+	if !any {
+		// Every feasible message scored (0 gain, 0 fresh coverage): the
+		// exhaustive scan would still return its first feasible mask, so
+		// mirror that with the lowest-index fitting message.
+		for i := 0; i < n; i++ {
+			if e.widthOf[i] <= budget {
+				chosen[i] = true
+				break
+			}
 		}
 	}
 	return e.candidateFromSet(chosen), nil

@@ -1,9 +1,13 @@
 // Package pipeline unifies the selection pipeline behind a shared, cached
 // Session layer. A Session owns one scenario's analyzed interleaving — the
 // Product of its instance set and the Evaluator precomputed over it — and
-// memoizes selection Results per Config, so that width sweeps, candidate
-// dumps, ablation curves, CLI invocations, and the public facade all reuse
-// one analysis instead of re-interleaving per data point. Sessions are
+// memoizes selection Results per normalized Config (Workers is erased from
+// the key: every worker count selects a byte-identical Result), so that
+// width sweeps, candidate dumps, ablation curves, CLI invocations, the
+// serving layer, and the public facade all reuse one analysis instead of
+// re-interleaving per data point. Concurrent identical selections are
+// singleflighted: they share one in-progress computation, and cancelling
+// every interested caller cancels the computation itself. Sessions are
 // themselves memoized in a Cache keyed by a content fingerprint of the
 // instance set (flow structure + indices), so independently built but
 // structurally identical scenarios share the same Session.
@@ -17,6 +21,7 @@ package pipeline
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"time"
 
@@ -39,6 +44,20 @@ type Session struct {
 
 	mu      sync.Mutex
 	results map[core.Config]*core.Result
+	flights map[core.Config]*flight
+}
+
+// flight is one in-progress selection shared by every concurrent caller
+// with the same normalized Config (singleflight). The computation runs on
+// its own goroutine under its own context; waiters that are cancelled
+// leave without stopping it, and the last waiter to leave cancels the
+// computation so no shard pool keeps burning for a request nobody wants.
+type flight struct {
+	done    chan struct{} // closed once res/err are set
+	res     *core.Result
+	err     error
+	waiters int // guarded by Session.mu
+	cancel  context.CancelFunc
 }
 
 // NewSession analyzes the instance set: it interleaves the instances and
@@ -87,6 +106,7 @@ func newSession(fp string, instances []flow.Instance, reg *obs.Registry) (*Sessi
 		e:       e,
 		obs:     reg,
 		results: make(map[core.Config]*core.Result),
+		flights: make(map[core.Config]*flight),
 	}, nil
 }
 
@@ -100,34 +120,103 @@ func (s *Session) Product() *interleave.Product { return s.p }
 // Evaluator returns the session's precomputed evaluator.
 func (s *Session) Evaluator() *core.Evaluator { return s.e }
 
+// memoKey normalizes cfg into the memo and singleflight key. Workers is
+// zeroed: every worker count selects a byte-identical Result (the
+// parallel-equals-serial property the repo pins), so configs differing
+// only in Workers must share one memo slot instead of recomputing an
+// identical Result per worker count.
+func memoKey(cfg core.Config) core.Config {
+	cfg.Workers = 0
+	return cfg
+}
+
 // Select runs the selection pipeline with the given configuration,
 // memoizing the Result: repeated selections at the same Config (the same
-// buffer width, method, packing and candidate options) return the cached
-// Result. The returned Result is shared — callers must not modify it.
+// buffer width, method, packing and candidate options — Workers is
+// normalized away) return the cached Result. The returned Result is
+// shared — callers must not modify it.
 func (s *Session) Select(cfg core.Config) (*core.Result, error) {
+	return s.SelectContext(context.Background(), cfg)
+}
+
+// SelectContext is Select with cancellation and singleflight: concurrent
+// callers with the same normalized Config share one computation instead of
+// duplicating it. The computation runs on its own goroutine, so a caller
+// whose ctx is cancelled returns promptly with ctx's error while remaining
+// waiters keep the flight alive; the last waiter to leave cancels the
+// underlying core.SelectContext, aborting its shard pool. Errors are not
+// memoized — a timed-out flight leaves no poison behind.
+func (s *Session) SelectContext(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	key := memoKey(cfg)
 	s.mu.Lock()
-	if res, ok := s.results[cfg]; ok {
+	if res, ok := s.results[key]; ok {
 		s.mu.Unlock()
 		s.obs.Counter("pipeline.results.hits").Inc()
 		return res, nil
 	}
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		s.mu.Unlock()
+		s.obs.Counter("pipeline.results.shared").Inc()
+		return s.waitFlight(ctx, key, f)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	s.flights[key] = f
 	s.mu.Unlock()
 	s.obs.Counter("pipeline.results.misses").Inc()
-	// Compute outside the lock: Select only reads the evaluator, so a
-	// concurrent duplicate computation is wasteful but deterministic —
-	// both compute identical Results and the second store is idempotent.
-	res, err := core.Select(s.e, cfg)
-	if err != nil {
-		return nil, err
+	go s.runFlight(fctx, key, cfg, f)
+	return s.waitFlight(ctx, key, f)
+}
+
+// runFlight computes one selection and publishes it to every waiter,
+// memoizing successes. It owns removing the flight from the map (unless
+// the last waiter already abandoned it) and always releases fctx.
+func (s *Session) runFlight(fctx context.Context, key core.Config, cfg core.Config, f *flight) {
+	res, err := core.SelectContext(fctx, s.e, cfg)
+	s.mu.Lock()
+	if err == nil {
+		if prior, ok := s.results[key]; ok {
+			res = prior // keep the first stored Result so callers share one
+		} else {
+			s.results[key] = res
+		}
+	}
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	f.res, f.err = res, err
+	s.mu.Unlock()
+	f.cancel() // computation finished; release the flight context
+	close(f.done)
+}
+
+// waitFlight blocks until the flight completes or ctx is cancelled. The
+// context strictly wins: even when the flight finished in the same instant
+// (a starved waiter can wake to find both ready), an expired caller gets
+// ctx's error, never a result its deadline already disowned. A cancelled
+// waiter deregisters itself; the last one out cancels the computation and
+// retires the flight so the next caller starts fresh.
+func (s *Session) waitFlight(ctx context.Context, key core.Config, f *flight) (*core.Result, error) {
+	select {
+	case <-f.done:
+		if ctx.Err() == nil {
+			return f.res, f.err
+		}
+	case <-ctx.Done():
 	}
 	s.mu.Lock()
-	if prior, ok := s.results[cfg]; ok {
-		res = prior // keep the first stored Result so callers share one
-	} else {
-		s.results[cfg] = res
+	f.waiters--
+	last := f.waiters == 0
+	if last && s.flights[key] == f {
+		delete(s.flights, key)
 	}
 	s.mu.Unlock()
-	return res, nil
+	if last {
+		f.cancel() // idempotent; a no-op when the flight already finished
+		s.obs.Counter("pipeline.results.flights_cancelled").Inc()
+	}
+	return nil, ctx.Err()
 }
 
 // Cache memoizes Sessions by instance-set fingerprint. A Cache built with

@@ -1,12 +1,16 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
+	"tracescale/internal/obs"
 	"tracescale/internal/synth"
 )
 
@@ -145,6 +149,128 @@ func TestCacheNoCrossScenarioAliasing(t *testing.T) {
 	}
 	if c.Len() != 20 {
 		t.Errorf("cache holds %d sessions, want 20", c.Len())
+	}
+}
+
+// Configs differing only in Workers select byte-identical Results (the
+// pinned parallel-equals-serial property), so the memo key must normalize
+// Workers away: Workers=1 then Workers=4 is a cache hit, not a recompute.
+func TestSelectMemoNormalizesWorkers(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewSessionObs(ccInstances(2), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Select(core.Config{BufferWidth: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Select(core.Config{BufferWidth: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("Workers=4 recomputed a Result memoized at Workers=1")
+	}
+	snap := reg.Snapshot()
+	if snap["pipeline.results.hits"] != 1 || snap["pipeline.results.misses"] != 1 {
+		t.Errorf("hits=%d misses=%d, want 1 hit and 1 miss",
+			snap["pipeline.results.hits"], snap["pipeline.results.misses"])
+	}
+}
+
+// Concurrent identical selections must share one singleflighted
+// computation: one miss, the rest join the flight, and everyone gets the
+// same Result pointer.
+func TestSelectSingleflightSharesOneCompute(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewSessionObs(ccInstances(2), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Select(core.Config{BufferWidth: 2, Workers: i%4 + 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent identical selections returned distinct Results")
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["pipeline.results.misses"] != 1 {
+		t.Errorf("misses = %d, want exactly 1 (singleflight)", snap["pipeline.results.misses"])
+	}
+	if got := snap["pipeline.results.hits"] + snap["pipeline.results.shared"]; got != callers-1 {
+		t.Errorf("hits+shared = %d, want %d", got, callers-1)
+	}
+}
+
+// A cancelled SelectContext caller must return promptly with the context
+// error; since it is the only waiter, the flight itself is cancelled and
+// the next call starts a fresh computation that succeeds.
+func TestSelectContextCancelledCallerReleasesFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewSessionObs(ccInstances(2), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SelectContext(ctx, core.Config{BufferWidth: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The session must not be poisoned: a fresh caller succeeds.
+	res, err := s.Select(core.Config{BufferWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 {
+		t.Error("post-cancel Select returned an empty selection")
+	}
+	// Eventually no flight lingers (the goroutine may still be retiring).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.flights)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d flights still registered after completion", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Selection errors must not be memoized: a Config that fails (nothing
+// fits) fails on every call without wedging the flight table, and a
+// subsequently valid Config still works.
+func TestSelectErrorNotMemoized(t *testing.T) {
+	s, err := NewSession(ccInstances(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Select(core.Config{BufferWidth: 2, Method: core.Method(99)}); err == nil {
+			t.Fatal("unknown method did not error")
+		}
+	}
+	if _, err := s.Select(core.Config{BufferWidth: 2}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,307 @@
+// Package serve exposes the selection pipeline over HTTP: POST /select
+// accepts a usage-scenario spec (the spec package's JSON format, inline)
+// plus selection options, resolves the scenario through a pipeline session
+// cache, and returns the selection Result as JSON. The paper positions
+// trace-message selection as pre-silicon collateral computed per usage
+// scenario; a long-lived service front-ends that computation so validation
+// infrastructure can request selections on demand and repeated scenarios
+// hit the session cache instead of re-interleaving.
+//
+// The handler applies backpressure and cancellation end to end:
+//
+//   - In-flight selections are bounded by a semaphore; excess requests are
+//     rejected immediately with 429 and a Retry-After hint rather than
+//     queued, so overload degrades crisply instead of piling up latency.
+//   - Request bodies are capped (413 past the limit).
+//   - Each selection runs under the request context plus an optional
+//     server-side timeout; a client that disconnects cancels the
+//     underlying core.SelectContext shard scan (visible as
+//     core.select.cancelled in /metrics), and a timeout maps to 504.
+//   - Graceful shutdown is the caller's: http.Server.Shutdown drains
+//     in-flight handlers, and because every selection hangs off a request
+//     context, nothing outlives the drain.
+//
+// GET /healthz answers ok; GET /metrics snapshots the handler's obs
+// registry as JSON (the same payload the CLIs write via -metrics-json).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tracescale/internal/core"
+	"tracescale/internal/obs"
+	"tracescale/internal/pipeline"
+	"tracescale/internal/spec"
+)
+
+// Request is the POST /select body: a scenario spec with selection options
+// alongside. The spec fields are inline (not nested), so a scenario
+// document exported by tracesel -export-toy / -export-t2 is already a
+// valid request body.
+type Request struct {
+	spec.Scenario
+	// Method selects the Step-2 strategy by name (core.ParseMethod);
+	// empty means exhaustive.
+	Method string `json:"method,omitempty"`
+	// Width overrides the scenario's bufferWidth when positive.
+	Width int `json:"width,omitempty"`
+	// NoPack disables Step-3 subgroup packing.
+	NoPack bool `json:"noPack,omitempty"`
+	// MaxCandidates bounds exhaustive enumeration (0 = default).
+	MaxCandidates int `json:"maxCandidates,omitempty"`
+	// Workers bounds the exhaustive shard pool (0 = GOMAXPROCS). The
+	// Result is byte-identical at every worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// PackedGroup mirrors core.PackedGroup with JSON tags.
+type PackedGroup struct {
+	Message string `json:"message"`
+	Group   string `json:"group"`
+	Width   int    `json:"width"`
+}
+
+// Response is the POST /select reply: the selection Result plus the
+// resolved scenario name, method, and budget.
+type Response struct {
+	Scenario         string        `json:"scenario,omitempty"`
+	Method           string        `json:"method"`
+	BufferWidth      int           `json:"bufferWidth"`
+	Selected         []string      `json:"selected"`
+	Packed           []PackedGroup `json:"packed,omitempty"`
+	Width            int           `json:"width"`
+	Utilization      float64       `json:"utilization"`
+	Gain             float64       `json:"gain"`
+	Coverage         float64       `json:"coverage"`
+	SelectedGain     float64       `json:"selectedGain"`
+	SelectedCoverage float64       `json:"selectedCoverage"`
+	SelectedWidth    int           `json:"selectedWidth"`
+}
+
+// errorBody is every non-200 JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Config parameterizes the handler.
+type Config struct {
+	// Cache resolves scenarios to Sessions; nil gets a private unbounded
+	// cache observed by Registry.
+	Cache *pipeline.Cache
+	// Registry records serve.* metrics and backs /metrics. Nil is a no-op
+	// (the obs contract), leaving /metrics an empty object.
+	Registry *obs.Registry
+	// MaxInFlight bounds concurrent selections; excess POSTs get 429.
+	// Zero or negative means DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBodyBytes caps the request body; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each selection beyond the client's own
+	// cancellation; zero means no server-side timeout.
+	RequestTimeout time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInFlight  = 4
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Handler serves the selection API. Create one with NewHandler.
+type Handler struct {
+	cache    *pipeline.Cache
+	reg      *obs.Registry
+	sem      chan struct{}
+	maxBody  int64
+	timeout  time.Duration
+	mux      *http.ServeMux
+	inflight *obs.Gauge
+}
+
+// NewHandler builds the http.Handler for the selection service.
+func NewHandler(cfg Config) *Handler {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = pipeline.NewCacheObs(cfg.Registry, 0)
+	}
+	h := &Handler{
+		cache:    cfg.Cache,
+		reg:      cfg.Registry,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		maxBody:  cfg.MaxBodyBytes,
+		timeout:  cfg.RequestTimeout,
+		mux:      http.NewServeMux(),
+		inflight: cfg.Registry.Gauge("serve.inflight"),
+	}
+	h.mux.HandleFunc("/select", h.handleSelect)
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := h.reg.WriteJSON(w); err != nil {
+		h.reg.Counter("serve.metrics_write_errors").Inc()
+	}
+}
+
+// writeJSON sends one JSON payload with the given status. The encoder's
+// trailing newline makes responses byte-stable for golden tests.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func (h *Handler) fail(w http.ResponseWriter, status int, err error) {
+	h.reg.Counter(fmt.Sprintf("serve.status_%d", status)).Inc()
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed, POST a scenario", r.Method))
+		return
+	}
+	h.reg.Counter("serve.requests").Inc()
+
+	// Backpressure first: reject before reading the body so an overloaded
+	// server sheds load at the cheapest possible point.
+	select {
+	case h.sem <- struct{}{}:
+		defer func() {
+			<-h.sem
+			h.inflight.Set(int64(len(h.sem)))
+		}()
+		h.inflight.Max(int64(len(h.sem)))
+	default:
+		w.Header().Set("Retry-After", "1")
+		h.fail(w, http.StatusTooManyRequests, errors.New("serve: selection capacity saturated"))
+		return
+	}
+
+	req, err := decodeRequest(w, r, h.maxBody)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		h.fail(w, status, err)
+		return
+	}
+
+	cfg := core.Config{
+		BufferWidth:    req.BufferWidth,
+		DisablePacking: req.NoPack,
+		MaxCandidates:  req.MaxCandidates,
+		Workers:        req.Workers,
+	}
+	if req.Width > 0 {
+		cfg.BufferWidth = req.Width
+	}
+	cfg.Method, err = core.ParseMethod(req.Method)
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	insts, err := req.Scenario.Build()
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if h.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.timeout)
+		defer cancel()
+	}
+
+	ses, err := h.cache.Session(insts)
+	if err != nil {
+		h.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	start := time.Now()
+	res, err := ses.SelectContext(ctx, cfg)
+	h.reg.Add("serve.select_ns", time.Since(start).Nanoseconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			h.fail(w, http.StatusGatewayTimeout, errors.New("serve: selection timed out"))
+		case errors.Is(err, context.Canceled):
+			// The client hung up; there is nobody to answer, but the abort
+			// must still be visible in the metrics.
+			h.reg.Counter("serve.client_gone").Inc()
+		default:
+			h.fail(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+
+	h.reg.Counter("serve.ok").Inc()
+	writeJSON(w, http.StatusOK, buildResponse(req, cfg, res))
+}
+
+// decodeRequest reads one capped, strictly-validated request body.
+func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*Request, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: decoding request: %w", err)
+	}
+	// Width can stand in for bufferWidth, so validate after the override.
+	if req.Width > 0 && req.BufferWidth < 1 {
+		req.BufferWidth = req.Width
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func buildResponse(req *Request, cfg core.Config, res *core.Result) *Response {
+	resp := &Response{
+		Scenario:         req.Name,
+		Method:           cfg.Method.String(),
+		BufferWidth:      cfg.BufferWidth,
+		Selected:         res.Selected,
+		Width:            res.Width,
+		Utilization:      res.Utilization,
+		Gain:             res.Gain,
+		Coverage:         res.Coverage,
+		SelectedGain:     res.SelectedGain,
+		SelectedCoverage: res.SelectedCoverage,
+		SelectedWidth:    res.SelectedWidth,
+	}
+	for _, g := range res.Packed {
+		resp.Packed = append(resp.Packed, PackedGroup{Message: g.Message, Group: g.Group, Width: g.Width})
+	}
+	return resp
+}

@@ -70,16 +70,26 @@ func Parse(r io.Reader) (*Scenario, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
-	if len(s.Flows) == 0 {
-		return nil, fmt.Errorf("spec: no flows")
-	}
-	if len(s.Instances) == 0 {
-		return nil, fmt.Errorf("spec: no instances")
-	}
-	if s.BufferWidth < 1 {
-		return nil, fmt.Errorf("spec: bufferWidth %d must be positive", s.BufferWidth)
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	return &s, nil
+}
+
+// Validate checks the structural preconditions Parse enforces — callers
+// that decode a Scenario embedded in a larger request (the serving layer)
+// apply the same rules before Build.
+func (s *Scenario) Validate() error {
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("spec: no flows")
+	}
+	if len(s.Instances) == 0 {
+		return fmt.Errorf("spec: no instances")
+	}
+	if s.BufferWidth < 1 {
+		return fmt.Errorf("spec: bufferWidth %d must be positive", s.BufferWidth)
+	}
+	return nil
 }
 
 // Write serializes the scenario as indented JSON.

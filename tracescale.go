@@ -45,6 +45,8 @@
 package tracescale
 
 import (
+	"context"
+
 	"tracescale/internal/core"
 	"tracescale/internal/flow"
 	"tracescale/internal/interleave"
@@ -150,6 +152,13 @@ func NewEvaluator(p *Product) (*Evaluator, error) { return core.NewEvaluator(p) 
 // message combinations, pick the one with maximal mutual information gain,
 // and pack leftover buffer bits with message subgroups.
 func Select(e *Evaluator, cfg Config) (*Result, error) { return core.Select(e, cfg) }
+
+// SelectContext is Select with cancellation: the exhaustive shard scan
+// polls ctx and aborts early when it is cancelled. With an uncancelled
+// context the Result is byte-identical to Select's.
+func SelectContext(ctx context.Context, e *Evaluator, cfg Config) (*Result, error) {
+	return core.SelectContext(ctx, e, cfg)
+}
 
 // NewSession returns the Session for the given instance set, building the
 // interleaved flow and its evaluator on first use. Sessions are cached
