@@ -13,7 +13,9 @@
 //
 // Message sets: mi (the paper's Steps 1-3 selection), widest (widest-first
 // structural baseline), pagerank (PRNet-style message-dependency PageRank),
-// random (seeded random feasible set).
+// random (seeded random feasible set), or any registered selection method
+// name (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound) to
+// score that Step-2 strategy's selection, e.g. -sets mi,celf,branch-bound.
 package main
 
 import (
@@ -183,9 +185,21 @@ func tracedFor(name string, s opensparc.Scenario, seed int64) ([]string, error) 
 			return nil, err
 		}
 		return c.Messages, nil
-	default:
-		return nil, fmt.Errorf("unknown message set %q (have mi, widest, pagerank, random)", name)
 	}
+	// Any registered core selection method is a valid set name too: "mi"
+	// under that Step-2 strategy (e.g. knapsack, celf, branch-bound), so
+	// campaigns can score the scalable selectors against the exhaustive
+	// reference.
+	m, err := core.ParseMethod(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown message set %q (have mi, widest, pagerank, random, or a method: %s)",
+			name, strings.Join(core.MethodNames(), ", "))
+	}
+	res, err := ses.Select(core.Config{BufferWidth: exp.BufferWidth, Method: m})
+	if err != nil {
+		return nil, err
+	}
+	return res.TracedNames(), nil
 }
 
 // renderSummary prints the campaign header, outcome tally, and the per-set

@@ -6,6 +6,7 @@
 //	tracesel -spec scenario.json -method knapsack -no-pack
 //	tracesel -export-toy                    # print an example spec and exit
 //	tracesel -export-t2 1                   # export a bundled T2 scenario
+//	tracesel -export-synth 120              # export a 120-message synthetic spec
 //	tracesel -spec s.json -metrics-json m.json  # dump pipeline metrics
 //
 // The spec format (JSON) describes flow DAGs, the indexed instances of the
@@ -18,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"tracescale"
 	"tracescale/internal/core"
@@ -27,6 +30,7 @@ import (
 	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/spec"
+	"tracescale/internal/synth"
 )
 
 func main() {
@@ -50,10 +54,13 @@ func run(args []string, w io.Writer) error {
 	var (
 		specPath  = fs.String("spec", "", "path to the scenario spec (JSON)")
 		width     = fs.Int("width", 0, "override the trace buffer width")
-		method    = fs.String("method", "exhaustive", "selection method: exhaustive, knapsack, greedy, max-coverage")
+		method    = fs.String("method", "exhaustive", "selection method: "+strings.Join(core.MethodNames(), ", "))
 		noPack    = fs.Bool("no-pack", false, "disable Step-3 subgroup packing")
 		exportToy = fs.Bool("export-toy", false, "print the toy cache-coherence spec and exit")
 		exportT2  = fs.Int("export-t2", 0, "print the spec of a T2 usage scenario (1-3) and exit")
+		exportSyn = fs.Int("export-synth", 0, "print a synthetic chain-flow spec with this many messages and exit")
+		synFlows  = fs.Int("synth-flows", 2, "chain flows the -export-synth messages are spread across")
+		synSeed   = fs.Int64("synth-seed", 1, "generator seed for -export-synth")
 		dotFlows  = fs.String("dot-flows", "", "write per-flow Graphviz files into this directory")
 		dotProd   = fs.String("dot-product", "", "write the interleaved flow as Graphviz to this file")
 		metrics   = fs.String("metrics-json", "", "write the observability snapshot (interleave.*, core.*, pipeline.*) as JSON to this file")
@@ -67,6 +74,18 @@ func run(args []string, w io.Writer) error {
 		s := spec.FromFlows("toy-cache-coherence", []*flow.Flow{f},
 			[]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}, 2)
 		return spec.Write(w, s)
+	}
+	if *exportSyn != 0 {
+		insts, err := synth.Universe(*exportSyn, *synFlows, synth.Params{}, rand.New(rand.NewSource(*synSeed)))
+		if err != nil {
+			return err
+		}
+		flows := make([]*flow.Flow, len(insts))
+		for i, in := range insts {
+			flows[i] = in.Flow
+		}
+		name := fmt.Sprintf("synth-%d", *exportSyn)
+		return spec.Write(w, spec.FromFlows(name, flows, insts, 32))
 	}
 	if *exportT2 != 0 {
 		scenario, err := opensparc.ScenarioByID(*exportT2)

@@ -105,6 +105,46 @@ func TestRunFlagHandling(t *testing.T) {
 	}
 }
 
+// TestExportSynthSelectsAtScale drives the README's 120-message
+// quickstart end to end: -export-synth emits a parseable spec whose
+// universe is exactly 120 messages, the exhaustive method refuses it at its
+// MaxCandidates guard, and the scalable selectors (branch-bound, celf)
+// select within the 32-bit budget.
+func TestExportSynthSelectsAtScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-export-synth", "120"}, &out); err != nil {
+		t.Fatalf("export-synth: %v", err)
+	}
+	if !strings.Contains(out.String(), `"synth-120"`) {
+		t.Fatalf("exported spec lacks the scenario name:\n%.400s", out.String())
+	}
+	path := filepath.Join(t.TempDir(), "big.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := run([]string{"-spec", path, "-method", "exhaustive"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "exceed MaxCandidates") {
+		t.Fatalf("exhaustive on 120 messages: err = %v, want the MaxCandidates refusal", err)
+	}
+
+	for _, method := range []string{"branch-bound", "celf"} {
+		var sel bytes.Buffer
+		if err := run([]string{"-spec", path, "-method", method}, &sel); err != nil {
+			t.Fatalf("%s on 120 messages: %v", method, err)
+		}
+		for _, w := range []string{"scenario: synth-120", "buffer: 32 bits, method: " + method, "selected messages"} {
+			if !strings.Contains(sel.String(), w) {
+				t.Errorf("%s output missing %q:\n%s", method, w, sel.String())
+			}
+		}
+	}
+
+	if err := run([]string{"-export-synth", "3", "-synth-flows", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("export-synth with more flows than messages accepted")
+	}
+}
+
 // TestRunMetricsJSON checks that a selection run dumps a parseable
 // observability snapshot covering the analysis chain.
 func TestRunMetricsJSON(t *testing.T) {

@@ -5,8 +5,11 @@
 //	traceserved -max-inflight 8 -timeout 10s -cache-capacity 128
 //
 // POST /select with a scenario spec (the tracesel -export-toy / -export-t2
-// JSON, optionally with "method", "width", "noPack", "maxCandidates",
-// "workers" fields alongside) returns the selection as JSON. GET /healthz
+// / -export-synth JSON, optionally with "method", "width", "noPack",
+// "maxCandidates", "workers", "keepCandidates" fields alongside) returns
+// the selection as JSON; "method" accepts every registered strategy name
+// (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound), and an
+// option the method cannot honor is a 422, not silently ignored. GET /healthz
 // answers ok; GET /metrics snapshots the service's observability registry.
 //
 // Overload is shed with 429 (never queued), request bodies are capped,

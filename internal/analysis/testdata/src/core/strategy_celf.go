@@ -1,0 +1,61 @@
+// strategy_celf.go is golden input shaped like a Step-2 strategy file: the
+// registry refactor split select.go into per-strategy files, and the
+// determinism analyzers (detrange, clockrand) are scoped on the core
+// package as a whole, so a violation seeded in a strategy file must be
+// caught exactly like one in select.go.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// laneGains is a stand-in for a strategy's per-message staging map.
+type laneGains map[string]float64
+
+// seedQueueUnsorted leaks map order into the strategy's evaluation queue —
+// the bug that would make a lazy-greedy heap nondeterministic across runs.
+func seedQueueUnsorted(gains laneGains) []string {
+	var queue []string
+	for name := range gains {
+		queue = append(queue, name) // want `append to queue in map-iteration order without a later sort`
+	}
+	return queue
+}
+
+// seedQueueSorted is the sanctioned collect-then-sort idiom every real
+// strategy uses before heapifying.
+func seedQueueSorted(gains laneGains) []string {
+	var queue []string
+	for name := range gains {
+		queue = append(queue, name)
+	}
+	sort.Strings(queue)
+	return queue
+}
+
+// boundUnsorted accumulates a fractional bound in map order: the float sum
+// is not bit-reproducible, so two runs could prune different subtrees.
+func boundUnsorted(gains laneGains) float64 {
+	bound := 0.0
+	for _, g := range gains {
+		bound += g // want `float accumulation in map-iteration order is not bit-reproducible`
+	}
+	return bound
+}
+
+// jitterBudget reads the wall clock and the process-global source inside a
+// strategy — selection must be a pure function of the evaluator and seed.
+func jitterBudget(budget int) int {
+	if time.Now().Unix()%2 == 0 { // want `time\.Now reads the wall clock`
+		return budget
+	}
+	return budget - rand.Intn(2) // want `math/rand\.Intn draws from the process-global source`
+}
+
+// tieBreakSeeded draws from an injected source: the sanctioned way a
+// strategy would randomize (none do, but the analyzer must not flag it).
+func tieBreakSeeded(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

@@ -128,7 +128,8 @@ func TestGoldenTripCounts(t *testing.T) {
 		min                       int
 	}{
 		{"obs", "obs", "nilsafe", 3},
-		{"core", "core", "detrange", 3},
+		{"core", "core", "detrange", 5},
+		{"core", "core", "clockrand", 2},
 		{"soc", "soc", "clockrand", 4},
 		{"obsdrop", "obsdrop", "obsdrop", 2},
 		{"campaign", "campaign", "clockrand", 2},

@@ -29,6 +29,28 @@ func (b bitset) count() int {
 	return c
 }
 
+// unset removes i from b.
+func (b bitset) unset(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// clone returns an independent copy of b.
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// less orders bitsets as little-endian unsigned integers (word 0 holds the
+// lowest members) — the multi-word generalization of the exhaustive scan's
+// numeric uint64 mask order, used for its lowest-mask tie-break.
+func (b bitset) less(o bitset) bool {
+	for w := len(b) - 1; w >= 0; w-- {
+		if b[w] != o[w] {
+			return b[w] < o[w]
+		}
+	}
+	return false
+}
+
 // clear empties b without reallocating.
 func (b bitset) clear() {
 	for w := range b {

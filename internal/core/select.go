@@ -3,76 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/bits"
-	"runtime"
-	"runtime/pprof"
-	"sort"
-	"strconv"
-	"sync"
 	"time"
 )
-
-// Method selects the Step-2 search strategy.
-type Method int
-
-const (
-	// Exhaustive enumerates every width-feasible combination (the paper's
-	// Step 1 + Step 2). Exponential in the number of messages; fine for
-	// per-scenario message counts, and the reference the other methods are
-	// validated against.
-	Exhaustive Method = iota
-	// Knapsack solves Step 2 exactly in O(messages × budget) by dynamic
-	// programming, exploiting the additivity of the gain metric. This is
-	// the scalable selector.
-	Knapsack
-	// Greedy adds messages in decreasing gain density (gain per bit),
-	// skipping what no longer fits. Fastest, not always optimal: the
-	// density heuristic for additive gains carries no worst-case knapsack
-	// guarantee in general, but on this codebase's instances it stays
-	// within 1/2 of the exact optimum — the documented approximation bound
-	// pinned by TestGreedyVsExhaustiveDifferential — and is exact whenever
-	// at most one message fits (e.g. a width-1 budget). Provided for the
-	// scalability ablation; use Knapsack for exactness at scale.
-	Greedy
-	// MaxCoverage greedily maximizes flow-specification coverage directly
-	// instead of information gain — the ablation behind §5.3: if gain is a
-	// good selection metric, the max-gain combination should cover nearly
-	// as much as the coverage-greedy one.
-	MaxCoverage
-)
-
-func (m Method) String() string {
-	switch m {
-	case Exhaustive:
-		return "exhaustive"
-	case Knapsack:
-		return "knapsack"
-	case Greedy:
-		return "greedy"
-	case MaxCoverage:
-		return "max-coverage"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
-
-// ParseMethod maps a method name (the String form) back to the Method —
-// the inverse the CLI flags and the serving layer share. The empty string
-// selects Exhaustive, the zero Config default.
-func ParseMethod(name string) (Method, error) {
-	switch name {
-	case "", "exhaustive":
-		return Exhaustive, nil
-	case "knapsack":
-		return Knapsack, nil
-	case "greedy":
-		return Greedy, nil
-	case "max-coverage":
-		return MaxCoverage, nil
-	default:
-		return 0, fmt.Errorf("core: unknown method %q", name)
-	}
-}
 
 // Config parameterizes Select.
 type Config struct {
@@ -82,19 +14,22 @@ type Config struct {
 	Method Method
 	// DisablePacking skips Step 3 (the paper's "WoP" configuration).
 	DisablePacking bool
-	// MaxCandidates bounds exhaustive enumeration (default 1<<22); Select
-	// fails rather than hang when the message universe is too large for
-	// Exhaustive — use Knapsack there.
+	// MaxCandidates bounds the Step-2 search (default 1<<22): exhaustive
+	// enumeration fails rather than hang when the message universe is too
+	// large for it — use Knapsack, CELF, or BranchBound there — and
+	// BranchBound caps explored search nodes per worker at the same bound.
 	MaxCandidates int
 	// KeepCandidates retains every feasible candidate with its gain and
 	// coverage in Result.Candidates (needed for the Figure-5 correlation
-	// study). Only honored by the Exhaustive method.
+	// study). Only the Exhaustive method supports it (see Capabilities);
+	// Select rejects the combination for every other method.
 	KeepCandidates bool
-	// Workers bounds the goroutines the Exhaustive method shards its mask
-	// space across. Zero means GOMAXPROCS; one forces the serial scan.
-	// Every worker count selects a byte-identical Result: shards are merged
-	// in ascending-mask order with the same tie-breaks the serial scan
-	// applies, so parallelism never changes which candidate wins.
+	// Workers bounds the goroutines a sharding strategy (Exhaustive,
+	// BranchBound — see Capabilities) spreads its search across. Zero means
+	// GOMAXPROCS; one forces the serial scan. Every worker count selects a
+	// byte-identical Result: shards are merged in ascending order with the
+	// same tie-breaks the serial scan applies, so parallelism never changes
+	// which candidate wins. Strategies that cannot shard reject Workers > 1.
 	Workers int
 }
 
@@ -162,6 +97,11 @@ func (r *Result) TracedNames() []string {
 
 const defaultMaxCandidates = 1 << 22
 
+// scoreEps is the tolerance of every score comparison: gains (and
+// coverages) closer than this are ties, broken by the secondary objective
+// and then by enumeration order.
+const scoreEps = 1e-12
+
 // Select runs the full three-step selection pipeline on the evaluator's
 // interleaved flow. When the evaluator's product was built with an
 // observability registry (interleave.NewObserved), Select records
@@ -173,12 +113,17 @@ func Select(e *Evaluator, cfg Config) (*Result, error) {
 }
 
 // SelectContext is Select with cooperative cancellation: when ctx is
-// cancelled, the exhaustive shard workers abort their mask scans at the
-// next poll boundary (every cancelCheckMasks masks) and SelectContext
+// cancelled, the sharded strategies abort their scans at the next poll
+// boundary (every cancelCheckMasks masks or search nodes) and SelectContext
 // returns ctx's error. With an uncancelled context the result is
 // byte-identical to Select — cancellation polling never touches the
 // incumbent-best state, so it cannot perturb tie-breaks. Cancelled runs
 // increment core.select.cancelled on observed evaluators.
+//
+// The Step-2 strategy is resolved from the Method registry; the Config is
+// validated against the strategy's Capabilities first, so an option the
+// strategy cannot honor (KeepCandidates, Workers > 1) is an error rather
+// than silently ignored.
 func SelectContext(ctx context.Context, e *Evaluator, cfg Config) (*Result, error) {
 	if cfg.BufferWidth < 1 {
 		return nil, fmt.Errorf("core: non-positive trace buffer width %d", cfg.BufferWidth)
@@ -191,6 +136,9 @@ func SelectContext(ctx context.Context, e *Evaluator, cfg Config) (*Result, erro
 	if cfg.MaxCandidates == 0 {
 		cfg.MaxCandidates = defaultMaxCandidates
 	}
+	if err := ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
 	// The registry rides on the product (interleave.NewObserved), so the
 	// Evaluator itself — whose layout the scan loops are hot against —
 	// carries no instrumentation state.
@@ -201,21 +149,7 @@ func SelectContext(ctx context.Context, e *Evaluator, cfg Config) (*Result, erro
 		start = time.Now()
 	}
 
-	var best Candidate
-	var all []Candidate
-	var err error
-	switch cfg.Method {
-	case Exhaustive:
-		best, all, err = selectExhaustive(ctx, e, cfg)
-	case Knapsack:
-		best, err = selectKnapsack(e, cfg.BufferWidth)
-	case Greedy:
-		best, err = selectGreedy(e, cfg.BufferWidth)
-	case MaxCoverage:
-		best, err = selectMaxCoverage(e, cfg.BufferWidth)
-	default:
-		err = fmt.Errorf("core: unknown method %v", cfg.Method)
-	}
+	best, all, err := cfg.Method.strategy().Select(ctx, e, cfg)
 	if err != nil {
 		if reg != nil && ctx.Err() != nil {
 			reg.Counter("core.select.cancelled").Inc()
@@ -275,14 +209,13 @@ var selectWallBounds = []int64{10, 100, 1_000, 10_000, 100_000, 1_000_000}
 // choice of {ReqE, GntE} among the three gain-tied pairs of the toy
 // example.
 func better(a, b Candidate) bool {
-	const eps = 1e-12
-	if a.Gain > b.Gain+eps {
+	if a.Gain > b.Gain+scoreEps {
 		return true
 	}
-	if a.Gain < b.Gain-eps {
+	if a.Gain < b.Gain-scoreEps {
 		return false
 	}
-	return a.Coverage > b.Coverage+eps
+	return a.Coverage > b.Coverage+scoreEps
 }
 
 // scored is a candidate combination identified by its enumeration mask,
@@ -298,14 +231,13 @@ type scored struct {
 
 // betterScored is the better predicate on mask-identified candidates.
 func betterScored(a, b scored) bool {
-	const eps = 1e-12
-	if a.gain > b.gain+eps {
+	if a.gain > b.gain+scoreEps {
 		return true
 	}
-	if a.gain < b.gain-eps {
+	if a.gain < b.gain-scoreEps {
 		return false
 	}
-	return a.coverage > b.coverage+eps
+	return a.coverage > b.coverage+scoreEps
 }
 
 // tieScored reports whether a and b are gain- and coverage-tied within the
@@ -314,372 +246,16 @@ func tieScored(a, b scored) bool {
 	return !betterScored(a, b) && !betterScored(b, a)
 }
 
-// cancelCheckMasks is how many masks a scan processes between context
-// polls: coarse enough that the poll never shows up in profiles, fine
-// enough that a cancelled shard aborts within a fraction of a millisecond.
+// cancelCheckMasks is how many masks (or search nodes) a scan processes
+// between context polls: coarse enough that the poll never shows up in
+// profiles, fine enough that a cancelled shard aborts within a fraction of
+// a millisecond.
 const cancelCheckMasks = 1 << 13
 
-// scanMasks enumerates masks in [lo, hi), keeping the incumbent-best under
-// the better predicate (ascending scan, so the lowest tied mask wins) and,
-// when keep is set, every feasible candidate in mask order. The scratch
-// bitset vis is reused across masks; found reports whether any mask in the
-// range was width-feasible. The loop carries no counters beyond the
-// incumbent — even a single extra increment here is measurable — so the
-// observability layer derives the feasible-mask count arithmetically
-// (countFeasible) instead of tallying it in the scan, and cancellation is
-// polled only at chunk boundaries (every cancelCheckMasks masks), keeping
-// the inner loop byte-identical to the uncancellable original. A non-nil
-// err means the scan aborted on ctx and the partial results are invalid.
-func (e *Evaluator) scanMasks(ctx context.Context, lo, hi uint64, budget int, keep bool) (best scored, found bool, all []Candidate, err error) {
-	numStates := float64(e.p.NumStates())
-	vis := newBitset(e.p.NumStates())
-	for chunkLo := lo; chunkLo < hi; chunkLo += cancelCheckMasks {
-		if err := ctx.Err(); err != nil {
-			return scored{}, false, nil, err
-		}
-		chunkHi := chunkLo + cancelCheckMasks
-		if chunkHi > hi || chunkHi < chunkLo { // clamp, and guard uint64 wrap
-			chunkHi = hi
-		}
-		for mask := chunkLo; mask < chunkHi; mask++ {
-			width := 0
-			for m := mask; m != 0; m &= m - 1 {
-				width += e.widthOf[bits.TrailingZeros64(m)]
-			}
-			if width > budget {
-				continue
-			}
-			gain := 0.0
-			vis.clear()
-			for m := mask; m != 0; m &= m - 1 {
-				i := bits.TrailingZeros64(m)
-				gain += e.gainOf[i]
-				vis.or(e.visibleOf[i])
-			}
-			c := scored{mask: mask, width: width, gain: gain, coverage: float64(vis.count()) / numStates}
-			if keep {
-				all = append(all, e.candidateFromScored(c))
-			}
-			if !found || betterScored(c, best) {
-				best = c
-				found = true
-			}
-		}
-	}
-	return best, found, all, nil
-}
-
-// countFeasible returns how many nonempty message subsets have total trace
-// width within budget — the exact number of masks scanMasks scores rather
-// than prunes. Subset-sum counting over the width multiset, O(n × budget),
-// keeps the enumeration loop itself free of bookkeeping. The count is a
-// pure function of the evaluator's width multiset, so it is memoized per
-// budget: repeat observed Selects at one budget pay a map lookup, not the
-// DP (core.select.feasible_dp_runs counts the actual DP executions). The
-// count fits int64 because exhaustive enumeration is capped at
-// MaxCandidates masks total.
-func (e *Evaluator) countFeasible(budget int) int64 {
-	e.feasibleMu.Lock()
-	defer e.feasibleMu.Unlock()
-	if total, ok := e.feasibleBy[budget]; ok {
-		return total
-	}
-	e.p.Obs().Counter("core.select.feasible_dp_runs").Inc()
-	dp := make([]int64, budget+1)
-	dp[0] = 1
-	for _, w := range e.widthOf {
-		if w > budget {
-			continue
-		}
-		for c := budget; c >= w; c-- {
-			dp[c] += dp[c-w]
-		}
-	}
-	var total int64
-	for _, n := range dp {
-		total += n
-	}
-	total-- // the empty subset is never enumerated
-	e.feasibleBy[budget] = total
-	return total
-}
-
-// candidateFromScored materializes the Candidate for a scored mask.
-func (e *Evaluator) candidateFromScored(s scored) Candidate {
-	c := Candidate{Width: s.width, Gain: s.gain, Coverage: s.coverage}
-	for m := s.mask; m != 0; m &= m - 1 {
-		c.Messages = append(c.Messages, e.universe[bits.TrailingZeros64(m)].Name)
-	}
-	return c
-}
-
-// selectExhaustive is Steps 1-2 as written in the paper: enumerate every
-// message combination with total width within the buffer, score each, keep
-// the best. The mask space [1, 2^n) is sharded across workers as contiguous
-// ascending ranges; per-shard incumbents are merged in shard order with the
-// serial scan's exact tie-breaks (equal-score candidates keep the lowest
-// mask), so any worker count — including one — selects a byte-identical
-// result. The lowest-mask tie-break is what reproduces the paper's choice
-// of {ReqE, GntE} among the toy example's three gain-tied pairs.
-//
-// Cancelling ctx makes every shard abort at its next poll boundary; the
-// join then discards the partial incumbents and returns ctx's error, so a
-// cancelled selection never leaks a half-scanned result. Aborted shards
-// are tallied in core.select.shards_cancelled on observed evaluators.
-func selectExhaustive(ctx context.Context, e *Evaluator, cfg Config) (Candidate, []Candidate, error) {
-	n := len(e.universe)
-	if n >= 63 {
-		return Candidate{}, nil, fmt.Errorf("core: %d messages is too many for exhaustive enumeration; use Knapsack", n)
-	}
-	if total := uint64(1) << n; total > uint64(cfg.MaxCandidates) {
-		return Candidate{}, nil, fmt.Errorf("core: 2^%d combinations exceed MaxCandidates=%d; use Knapsack", n, cfg.MaxCandidates)
-	}
-	end := uint64(1) << n
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		// Below ~2^16 masks the scan is microseconds; goroutine fan-out
-		// would cost more than it saves. An explicit Workers count is
-		// honored regardless (tests force the parallel path this way).
-		const minParallelMasks = 1 << 16
-		if end-1 < minParallelMasks {
-			workers = 1
-		}
-	}
-	if uint64(workers) > end-1 {
-		workers = int(end - 1)
-	}
-
-	var (
-		best  scored
-		found bool
-		all   []Candidate
-	)
-	if workers == 1 {
-		var err error
-		best, found, all, err = e.scanMasks(ctx, 1, end, cfg.BufferWidth, cfg.KeepCandidates)
-		if err != nil {
-			if reg := e.p.Obs(); reg != nil {
-				reg.Counter("core.select.shards_cancelled").Inc()
-			}
-			return Candidate{}, nil, err
-		}
-	} else {
-		type shard struct {
-			best  scored
-			found bool
-			all   []Candidate
-			err   error
-		}
-		shards := make([]shard, workers)
-		span := (end - 1) / uint64(workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := 1 + uint64(w)*span
-			hi := lo + span
-			if w == workers-1 {
-				hi = end
-			}
-			wg.Add(1)
-			// pprof labels attribute CPU samples to the shard, so profiles
-			// of the selector pool show which mask ranges burn the time.
-			go pprof.Do(context.Background(),
-				pprof.Labels("tracescale.pool", "select-exhaustive", "tracescale.shard", strconv.Itoa(w)),
-				func(context.Context) {
-					defer wg.Done()
-					s := &shards[w]
-					s.best, s.found, s.all, s.err = e.scanMasks(ctx, lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
-				})
-		}
-		wg.Wait()
-		// Every shard goroutine has exited by here; a cancelled scan leaves
-		// errored shards whose partial incumbents must not reach the merge.
-		var cancelled int64
-		for _, s := range shards {
-			if s.err != nil {
-				cancelled++
-			}
-		}
-		if cancelled > 0 {
-			if reg := e.p.Obs(); reg != nil {
-				reg.Add("core.select.shards_cancelled", cancelled)
-			}
-			return Candidate{}, nil, ctx.Err()
-		}
-		// Merge in ascending shard (= ascending mask) order. Strict-better
-		// replacement plus the explicit lowest-mask tie-break reproduces the
-		// serial incumbent rule even if shard order were ever perturbed.
-		for _, s := range shards {
-			if !s.found {
-				continue
-			}
-			if !found || betterScored(s.best, best) ||
-				(tieScored(s.best, best) && s.best.mask < best.mask) {
-				best = s.best
-				found = true
-			}
-			all = append(all, s.all...)
-		}
-	}
-	if reg := e.p.Obs(); reg != nil {
-		enumerated := int64(end - 1)
-		feasible := e.countFeasible(cfg.BufferWidth)
-		reg.Add("core.select.masks_enumerated", enumerated)
-		reg.Add("core.select.masks_feasible", feasible)
-		reg.Add("core.select.masks_pruned", enumerated-feasible)
-		reg.Gauge("core.select.workers").Set(int64(workers))
-	}
-	if !found {
-		return Candidate{}, nil, fmt.Errorf("core: no message fits in a %d-bit trace buffer", cfg.BufferWidth)
-	}
-	return e.candidateFromScored(best), all, nil
-}
-
-// selectKnapsack solves Step 2 exactly: because gain is additive across
-// messages, the max-gain feasible combination is a 0/1 knapsack with
-// value = gain and weight = width. O(n × BufferWidth) DP cells, each
-// carrying the exact coverage bitset of its chosen set so gain ties break
-// toward higher coverage — the same secondary objective better() gives the
-// exhaustive reference. Without the tie-break, a degenerate universe where
-// every gain is zero (e.g. a single-execution product, whose entropy is 0)
-// would never strictly improve any cell and the DP would return an empty
-// Candidate with no error. Item order plus strict-improvement replacement
-// prefers excluding later universe messages on full ties, mirroring
-// exhaustive's lowest-mask rule.
-func selectKnapsack(e *Evaluator, budget int) (Candidate, error) {
-	n := len(e.universe)
-	// dp[c] = best (gain, coverage) using total width ≤ c. cov holds the
-	// exact visible-state union of the set behind the cell — coverage is not
-	// additive, so the tie-break needs the real union, not a per-item sum.
-	type cell struct {
-		gain float64
-		covN int
-		cov  bitset
-	}
-	dp := make([]cell, budget+1)
-	for c := range dp {
-		dp[c].cov = newBitset(e.p.NumStates())
-	}
-	take := make([][]bool, n)
-	feasible := false
-	for i := 0; i < n; i++ {
-		take[i] = make([]bool, budget+1)
-		w := e.widthOf[i]
-		if w > budget {
-			continue
-		}
-		feasible = true
-		g := e.gainOf[i]
-		for c := budget; c >= w; c-- {
-			prev := &dp[c-w]
-			candGain := prev.gain + g
-			if candGain < dp[c].gain-1e-15 {
-				continue
-			}
-			candCovN := prev.covN + prev.cov.freshFrom(e.visibleOf[i])
-			if candGain > dp[c].gain+1e-15 || candCovN > dp[c].covN {
-				cov := newBitset(e.p.NumStates())
-				cov.or(prev.cov)
-				cov.or(e.visibleOf[i])
-				dp[c] = cell{gain: candGain, covN: candCovN, cov: cov}
-				take[i][c] = true
-			}
-		}
-	}
-	if !feasible {
-		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
-	}
-	// Recover the chosen set.
-	chosen := make([]bool, n)
-	c := budget
-	any := false
-	for i := n - 1; i >= 0; i-- {
-		if take[i][c] {
-			chosen[i] = true
-			c -= e.widthOf[i]
-			any = true
-		}
-	}
-	if !any {
-		// Every feasible message scored (0 gain, 0 fresh coverage): the
-		// exhaustive scan would still return its first feasible mask, so
-		// mirror that with the lowest-index fitting message.
-		for i := 0; i < n; i++ {
-			if e.widthOf[i] <= budget {
-				chosen[i] = true
-				break
-			}
-		}
-	}
-	return e.candidateFromSet(chosen), nil
-}
-
-// selectGreedy adds messages by decreasing gain density (gain/width),
-// skipping messages that no longer fit. Ties by universe order.
-func selectGreedy(e *Evaluator, budget int) (Candidate, error) {
-	n := len(e.universe)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da := e.gainOf[order[a]] / float64(e.universe[order[a]].TraceWidth())
-		db := e.gainOf[order[b]] / float64(e.universe[order[b]].TraceWidth())
-		return da > db
-	})
-	chosen := make([]bool, n)
-	left := budget
-	any := false
-	for _, i := range order {
-		if w := e.universe[i].TraceWidth(); w <= left {
-			chosen[i] = true
-			left -= w
-			any = true
-		}
-	}
-	if !any {
-		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
-	}
-	return e.candidateFromSet(chosen), nil
-}
-
-// selectMaxCoverage greedily maximizes flow-spec coverage: each round adds
-// the feasible message with the most uncovered visible states (ties by
-// cheaper width, then universe order). Classic budgeted max-coverage
-// greedy — a (1-1/e)-approximation since coverage is submodular.
-func selectMaxCoverage(e *Evaluator, budget int) (Candidate, error) {
-	n := len(e.universe)
-	chosen := make([]bool, n)
-	covered := newBitset(e.p.NumStates())
-	left := budget
-	any := false
-	for {
-		bestAt, bestNew, bestWidth := -1, -1, 0
-		for i := 0; i < n; i++ {
-			if chosen[i] {
-				continue
-			}
-			w := e.widthOf[i]
-			if w > left {
-				continue
-			}
-			fresh := covered.freshFrom(e.visibleOf[i])
-			if fresh > bestNew || (fresh == bestNew && w < bestWidth) {
-				bestAt, bestNew, bestWidth = i, fresh, w
-			}
-		}
-		if bestAt < 0 {
-			break
-		}
-		chosen[bestAt] = true
-		left -= bestWidth
-		any = true
-		covered.or(e.visibleOf[bestAt])
-	}
-	if !any {
-		return Candidate{}, fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
-	}
-	return e.candidateFromSet(chosen), nil
+// errNothingFits is the shared infeasibility error: every strategy must
+// report an empty selection identically.
+func errNothingFits(budget int) error {
+	return fmt.Errorf("core: no message fits in a %d-bit trace buffer", budget)
 }
 
 func (e *Evaluator) candidateFromSet(chosen []bool) Candidate {

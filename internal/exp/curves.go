@@ -74,8 +74,9 @@ type BaselineRow struct {
 }
 
 // SelectionBaselines scores the information-gain selection against the
-// naive baselines (random, widest-first, coverage-greedy) on every usage
-// scenario at the paper's 32-bit budget.
+// scalable selectors (branch-bound, CELF) and the naive baselines (random,
+// widest-first, coverage-greedy) on every usage scenario at the paper's
+// 32-bit budget.
 func SelectionBaselines(seed int64) ([]BaselineRow, error) {
 	var out []BaselineRow
 	for _, s := range opensparc.Scenarios() {
@@ -92,6 +93,16 @@ func SelectionBaselines(seed int64) ([]BaselineRow, error) {
 			return nil, err
 		}
 		add("info-gain", core.Candidate{Gain: res.SelectedGain, Coverage: res.SelectedCoverage})
+		// The scalable selectors, against the exhaustive info-gain
+		// reference: branch-bound is exact (identical row), CELF is the
+		// lazy greedy (never above it).
+		for _, m := range []core.Method{core.BranchBound, core.CELF} {
+			r, err := ses.Select(core.Config{BufferWidth: BufferWidth, Method: m, DisablePacking: true})
+			if err != nil {
+				return nil, err
+			}
+			add(m.String(), core.Candidate{Gain: r.SelectedGain, Coverage: r.SelectedCoverage})
+		}
 		cov, err := ses.Select(core.Config{BufferWidth: BufferWidth, Method: core.MaxCoverage, DisablePacking: true})
 		if err != nil {
 			return nil, err

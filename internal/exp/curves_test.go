@@ -40,8 +40,8 @@ func TestSelectionBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("rows = %d, want 4 methods x 3 scenarios", len(rows))
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 6 methods x 3 scenarios", len(rows))
 	}
 	byKey := map[string]BaselineRow{}
 	for _, r := range rows {
@@ -61,6 +61,16 @@ func TestSelectionBaselines(t *testing.T) {
 		// And clearly better than blind selection on coverage.
 		if wf := byKey[s+"/widest-first"]; ig.Coverage < wf.Coverage {
 			t.Errorf("%s: info-gain coverage %.4f below widest-first %.4f", s, ig.Coverage, wf.Coverage)
+		}
+		// Branch-bound is exact: it must reproduce the exhaustive info-gain
+		// row identically, not just within tolerance.
+		if bb := byKey[s+"/branch-bound"]; bb.Gain != ig.Gain || bb.Coverage != ig.Coverage {
+			t.Errorf("%s: branch-bound (%.12f, %.12f) != info-gain (%.12f, %.12f)",
+				s, bb.Gain, bb.Coverage, ig.Gain, ig.Coverage)
+		}
+		// CELF is a greedy heuristic: never above the exact optimum.
+		if celf := byKey[s+"/celf"]; celf.Gain > ig.Gain+1e-9 {
+			t.Errorf("%s: celf gain %.4f beats the exhaustive optimum %.4f", s, celf.Gain, ig.Gain)
 		}
 	}
 }

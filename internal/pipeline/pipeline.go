@@ -147,6 +147,13 @@ func (s *Session) Select(cfg core.Config) (*core.Result, error) {
 // underlying core.SelectContext, aborting its shard pool. Errors are not
 // memoized — a timed-out flight leaves no poison behind.
 func (s *Session) SelectContext(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	// Validate before the memo lookup: the key normalizes Workers away, so
+	// without this check a Config whose Workers count the method cannot
+	// honor would be answered from a cache entry computed at Workers 0 —
+	// silently masking the invalid combination instead of rejecting it.
+	if err := core.ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
 	key := memoKey(cfg)
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -176,6 +177,28 @@ func TestSelectMemoNormalizesWorkers(t *testing.T) {
 	if snap["pipeline.results.hits"] != 1 || snap["pipeline.results.misses"] != 1 {
 		t.Errorf("hits=%d misses=%d, want 1 hit and 1 miss",
 			snap["pipeline.results.hits"], snap["pipeline.results.misses"])
+	}
+}
+
+// The memo key normalizes Workers away, which cuts both ways: a Config a
+// strategy cannot honor must be rejected BEFORE the lookup, or the cached
+// Workers=0 result would silently answer for an invalid Workers=4 request.
+func TestSelectRejectsUnsupportedWorkersDespiteMemo(t *testing.T) {
+	s, err := NewSession(ccInstances(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the memo with a valid serial CELF selection.
+	if _, err := s.Select(core.Config{BufferWidth: 2, Method: core.CELF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select(core.Config{BufferWidth: 2, Method: core.CELF, Workers: 4}); err == nil {
+		t.Error("Workers=4 on celf answered from the memo instead of being rejected")
+	} else if !strings.Contains(err.Error(), "does not support Workers") {
+		t.Errorf("rejection %q does not name the option", err)
+	}
+	if _, err := s.Select(core.Config{BufferWidth: 2, Method: core.Greedy, KeepCandidates: true}); err == nil {
+		t.Error("KeepCandidates on greedy accepted")
 	}
 }
 

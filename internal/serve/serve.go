@@ -54,9 +54,22 @@ type Request struct {
 	NoPack bool `json:"noPack,omitempty"`
 	// MaxCandidates bounds exhaustive enumeration (0 = default).
 	MaxCandidates int `json:"maxCandidates,omitempty"`
-	// Workers bounds the exhaustive shard pool (0 = GOMAXPROCS). The
-	// Result is byte-identical at every worker count.
+	// Workers bounds the shard pool of a sharding method (0 = GOMAXPROCS).
+	// The Result is byte-identical at every worker count; methods that
+	// cannot shard reject workers > 1 with a 422.
 	Workers int `json:"workers,omitempty"`
+	// KeepCandidates returns every feasible candidate in the response.
+	// Only the exhaustive method supports it; any other method rejects the
+	// combination with a 422.
+	KeepCandidates bool `json:"keepCandidates,omitempty"`
+}
+
+// Candidate mirrors core.Candidate with JSON tags.
+type Candidate struct {
+	Messages []string `json:"messages"`
+	Width    int      `json:"width"`
+	Gain     float64  `json:"gain"`
+	Coverage float64  `json:"coverage"`
 }
 
 // PackedGroup mirrors core.PackedGroup with JSON tags.
@@ -81,6 +94,7 @@ type Response struct {
 	SelectedGain     float64       `json:"selectedGain"`
 	SelectedCoverage float64       `json:"selectedCoverage"`
 	SelectedWidth    int           `json:"selectedWidth"`
+	Candidates       []Candidate   `json:"candidates,omitempty"`
 }
 
 // errorBody is every non-200 JSON payload.
@@ -219,6 +233,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		DisablePacking: req.NoPack,
 		MaxCandidates:  req.MaxCandidates,
 		Workers:        req.Workers,
+		KeepCandidates: req.KeepCandidates,
 	}
 	if req.Width > 0 {
 		cfg.BufferWidth = req.Width
@@ -302,6 +317,9 @@ func buildResponse(req *Request, cfg core.Config, res *core.Result) *Response {
 	}
 	for _, g := range res.Packed {
 		resp.Packed = append(resp.Packed, PackedGroup{Message: g.Message, Group: g.Group, Width: g.Width})
+	}
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, Candidate{Messages: c.Messages, Width: c.Width, Gain: c.Gain, Coverage: c.Coverage})
 	}
 	return resp
 }

@@ -101,6 +101,36 @@ func Scenario(flows int, p Params, rng *rand.Rand) ([]flow.Instance, error) {
 	return out, nil
 }
 
+// Universe generates a scenario with exactly messages distinct messages
+// spread across flows chain flows (skip edges are disabled so the count is
+// exact; widths and routing still follow p). A few long chains keep the
+// interleaved product polynomial — roughly (messages/flows + 1)^flows
+// states — while the message universe grows into the hundreds: the regime
+// where exhaustive enumeration trips its MaxCandidates guard but the
+// knapsack, CELF, and branch-and-bound selectors keep working.
+func Universe(messages, flows int, p Params, rng *rand.Rand) ([]flow.Instance, error) {
+	if flows < 1 || messages < flows {
+		return nil, fmt.Errorf("synth: need >= 1 flow and >= 1 message per flow (messages %d, flows %d)", messages, flows)
+	}
+	out := make([]flow.Instance, flows)
+	base, extra := messages/flows, messages%flows
+	for i := range out {
+		m := base
+		if i < extra {
+			m++
+		}
+		fp := p
+		fp.States = m + 1 // a chain of n states carries n-1 messages
+		fp.Branch = 0
+		f, err := Flow(fmt.Sprintf("u%d", i), fp, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = flow.Instance{Flow: f, Index: 1}
+	}
+	return out, nil
+}
+
 // Replicated generates count legally indexed instances of a single random
 // flow — the workload that stresses indexing and product growth.
 func Replicated(count int, p Params, rng *rand.Rand) ([]flow.Instance, error) {

@@ -57,6 +57,50 @@ func TestErrors(t *testing.T) {
 	if _, err := Replicated(0, Params{}, rng); err == nil {
 		t.Error("0-instance replication accepted")
 	}
+	if _, err := Universe(10, 0, Params{}, rng); err == nil {
+		t.Error("0-flow universe accepted")
+	}
+	if _, err := Universe(2, 3, Params{}, rng); err == nil {
+		t.Error("universe with fewer messages than flows accepted")
+	}
+}
+
+// Universe delivers exactly the requested message count — the property the
+// scalability sweeps rely on — while the chain shape keeps the interleaved
+// product polynomial instead of exponential in the message count.
+func TestUniverseExactMessageCount(t *testing.T) {
+	for _, tc := range []struct{ messages, flows int }{
+		{5, 1}, {10, 3}, {17, 4}, {120, 2},
+	} {
+		insts, err := Universe(tc.messages, tc.flows, Params{}, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("Universe(%d, %d): %v", tc.messages, tc.flows, err)
+		}
+		if len(insts) != tc.flows {
+			t.Errorf("Universe(%d, %d) built %d flows", tc.messages, tc.flows, len(insts))
+		}
+		total := 0
+		for _, in := range insts {
+			total += in.Flow.NumMessages()
+		}
+		if total != tc.messages {
+			t.Errorf("Universe(%d, %d) has %d messages, want exactly %d",
+				tc.messages, tc.flows, total, tc.messages)
+		}
+	}
+	// The 120-message two-flow family stays interleavable: ~61x61 product
+	// states, not 2^120.
+	insts, err := Universe(120, 2, Params{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := interleave.New(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() > 5000 {
+		t.Errorf("120-message universe product has %d states — the chain shape stopped containing it", p.NumStates())
+	}
 }
 
 func TestScenarioAndReplicatedInterleave(t *testing.T) {
