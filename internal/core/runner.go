@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// ShardTask is one unit of a sharded Step-2 search, described in plain data
+// so a runner can execute it in-process or ship it to a remote worker. Two
+// task shapes exist, selected by Method:
+//
+//   - Exhaustive: scan the contiguous mask range [Lo, Hi) of the 2^n
+//     enumeration (1 ≤ Lo ≤ Hi ≤ 2^n), optionally retaining every feasible
+//     candidate (Keep).
+//   - BranchBound: run the depth-first lattice search over the root
+//     branches Start, Start+Stride, Start+2·Stride, ... of the gain-density
+//     order, capping explored nodes at MaxNodes.
+//
+// Budget is the trace-buffer width in bits, common to both shapes.
+type ShardTask struct {
+	Method Method
+	// Exhaustive fields.
+	Lo, Hi uint64
+	Keep   bool
+	// BranchBound fields.
+	Start, Stride int
+	MaxNodes      int64
+	// Shared.
+	Budget int
+}
+
+// ShardResult is a shard's local incumbent plus the tie-break state the
+// coordinator merge needs. Mask is the winner's universe mask in
+// little-endian 64-bit words (bit i of the packed value = universe[i]):
+// exactly one word for an Exhaustive task, ceil(n/64) words for a
+// BranchBound task over an n-message universe. Gain and Coverage are the
+// canonical ascending-universe-order scores, so merging shard results with
+// the serial comparator reproduces the serial scan bit for bit — float64
+// values survive a JSON round trip exactly (shortest-form encoding), which
+// is what makes a remote shard's tie-break state trustworthy.
+type ShardResult struct {
+	Found    bool
+	Mask     []uint64
+	Width    int
+	Gain     float64
+	Coverage float64
+	// Nodes is the BranchBound search-node count (for core.select.bb_nodes).
+	Nodes int64
+	// Candidates holds every feasible candidate of an Exhaustive task with
+	// Keep set, in ascending mask order.
+	Candidates []Candidate
+}
+
+// ShardRunner executes shard tasks for the sharding strategies. The
+// contract is strict determinism: RunShard must return exactly what
+// Evaluator.RunShardTask returns for the same task over a structurally
+// identical evaluator — the coordinator merges shard results assuming
+// byte-identical scores, so a runner may change where a shard executes but
+// never what it computes. A runner must return ctx's error (and no partial
+// result) when the context is cancelled mid-shard.
+type ShardRunner interface {
+	Name() string
+	RunShard(ctx context.Context, e *Evaluator, t ShardTask) (ShardResult, error)
+}
+
+// LocalRunner executes shard tasks in-process against the evaluator — the
+// worker-pool behavior the sharding strategies had before the runner seam
+// existed, and the fallback a distributed coordinator uses when its worker
+// set is empty or exhausted.
+type LocalRunner struct{}
+
+// Name identifies the runner in core.runner.* metrics.
+func (LocalRunner) Name() string { return "local" }
+
+// RunShard executes the task on the calling goroutine.
+func (LocalRunner) RunShard(ctx context.Context, e *Evaluator, t ShardTask) (ShardResult, error) {
+	return e.RunShardTask(ctx, t)
+}
+
+// runner returns the configured ShardRunner, defaulting to LocalRunner.
+func (cfg Config) runner() ShardRunner {
+	if cfg.Runner != nil {
+		return cfg.Runner
+	}
+	return LocalRunner{}
+}
+
+// RunShardTask validates and executes one shard task against the
+// evaluator. This is the single execution path every ShardRunner bottoms
+// out in: LocalRunner calls it directly, and a remote worker process calls
+// it against its own evaluator rebuilt from the same scenario (content
+// fingerprints guarantee a structurally identical instance set, and
+// evaluator construction is bit-deterministic, so the scores match the
+// coordinator's bit for bit).
+func (e *Evaluator) RunShardTask(ctx context.Context, t ShardTask) (ShardResult, error) {
+	if t.Budget < 1 {
+		return ShardResult{}, fmt.Errorf("core: non-positive shard budget %d", t.Budget)
+	}
+	switch t.Method {
+	case Exhaustive:
+		return e.runExhaustiveShard(ctx, t)
+	case BranchBound:
+		return e.runBranchBoundShard(ctx, t)
+	default:
+		return ShardResult{}, fmt.Errorf("core: method %s does not shard", t.Method)
+	}
+}
+
+func (e *Evaluator) runExhaustiveShard(ctx context.Context, t ShardTask) (ShardResult, error) {
+	n := len(e.universe)
+	if n >= 63 {
+		return ShardResult{}, fmt.Errorf("core: %d-message universe exceeds the 63-message exhaustive mask ceiling", n)
+	}
+	end := uint64(1) << n
+	if t.Lo < 1 || t.Lo > t.Hi || t.Hi > end {
+		return ShardResult{}, fmt.Errorf("core: shard mask range [%d, %d) outside the enumeration [1, %d)", t.Lo, t.Hi, end)
+	}
+	best, found, all, err := e.scanMasks(ctx, t.Lo, t.Hi, t.Budget, t.Keep)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	res := ShardResult{Found: found, Candidates: all}
+	if found {
+		res.Mask = []uint64{best.mask}
+		res.Width = best.width
+		res.Gain = best.gain
+		res.Coverage = best.coverage
+	}
+	return res, nil
+}
+
+func (e *Evaluator) runBranchBoundShard(ctx context.Context, t ShardTask) (ShardResult, error) {
+	if t.Stride < 1 || t.Start < 0 || t.Start >= t.Stride {
+		return ShardResult{}, fmt.Errorf("core: shard root assignment start=%d stride=%d is not a round-robin slot", t.Start, t.Stride)
+	}
+	if t.MaxNodes < 1 {
+		return ShardResult{}, fmt.Errorf("core: non-positive shard node cap %d", t.MaxNodes)
+	}
+	s := newBBSearch(e, t.Budget, t.MaxNodes)
+	w := &bbWorker{s: s, path: newBitset(len(e.universe)), vis: newBitset(e.p.NumStates())}
+	if err := w.run(ctx, t.Start, t.Stride); err != nil {
+		return ShardResult{}, err
+	}
+	res := ShardResult{Found: w.found, Nodes: w.nodes}
+	if w.found {
+		res.Mask = append([]uint64(nil), w.best.mask...)
+		res.Width = w.best.width
+		res.Gain = w.best.gain
+		res.Coverage = w.best.coverage
+	}
+	return res, nil
+}
+
+// maskWords returns how many 64-bit words a shard result's Mask must hold
+// for the task shape over an n-message universe.
+func maskWords(method Method, n int) int {
+	if method == Exhaustive {
+		return 1
+	}
+	return (n + 63) / 64
+}
+
+// runShards dispatches every task through the runner — inline for a single
+// task, one goroutine per task otherwise — and returns the per-task results
+// and errors in task order. pprof labels attribute CPU samples to the pool
+// and shard, so profiles of a selector run show which task burns the time.
+// Dispatch is observable as core.runner.<name>.shards on observed
+// evaluators.
+func runShards(ctx context.Context, e *Evaluator, runner ShardRunner, tasks []ShardTask, pool string) ([]ShardResult, []error) {
+	results := make([]ShardResult, len(tasks))
+	errs := make([]error, len(tasks))
+	if reg := e.p.Obs(); reg != nil {
+		reg.Add("core.runner."+runner.Name()+".shards", int64(len(tasks)))
+	}
+	if len(tasks) == 1 {
+		results[0], errs[0] = runner.RunShard(ctx, e, tasks[0])
+		return results, errs
+	}
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go pprof.Do(context.Background(),
+			pprof.Labels("tracescale.pool", pool, "tracescale.shard", strconv.Itoa(i), "tracescale.runner", runner.Name()),
+			func(context.Context) {
+				defer wg.Done()
+				results[i], errs[i] = runner.RunShard(ctx, e, tasks[i])
+			})
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// collectShardErrs folds the per-shard errors into the one error the
+// strategy surfaces. Cancelled shards are tallied in
+// core.select.shards_cancelled; a cancelled run reports ctx's error so a
+// half-scanned merge can never leak, and any other shard error (a remote
+// worker's terminal rejection, a node-cap overrun) surfaces as-is in task
+// order.
+func collectShardErrs(ctx context.Context, e *Evaluator, errs []error) error {
+	var firstErr error
+	var failed int64
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		if reg := e.p.Obs(); reg != nil {
+			reg.Add("core.select.shards_cancelled", failed)
+		}
+		return ctx.Err()
+	}
+	return firstErr
+}
+
+// mergeExhaustiveShards folds shard results in ascending task (= ascending
+// mask-range) order under the serial incumbent rule: strictly better wins,
+// full ties keep the lowest mask. A Found result whose Mask is not exactly
+// one word is corrupt — a runner bug or an unvalidated wire decode — and
+// fails the merge rather than silently perturbing the tie-break.
+func mergeExhaustiveShards(results []ShardResult) (best scored, found bool, all []Candidate, err error) {
+	for _, r := range results {
+		if !r.Found {
+			continue
+		}
+		if len(r.Mask) != 1 {
+			return scored{}, false, nil, fmt.Errorf("core: corrupt shard result: mask has %d words, want 1", len(r.Mask))
+		}
+		s := scored{mask: r.Mask[0], width: r.Width, gain: r.Gain, coverage: r.Coverage}
+		if !found || betterScored(s, best) || (tieScored(s, best) && s.mask < best.mask) {
+			best = s
+			found = true
+		}
+		all = append(all, r.Candidates...)
+	}
+	return best, found, all, nil
+}
+
+// mergeBranchBoundShards is mergeExhaustiveShards for multi-word masks: the
+// same comparator, with the little-endian bitset order as the tie-break.
+func mergeBranchBoundShards(results []ShardResult, words int) (best wideScored, found bool, nodes int64, err error) {
+	for _, r := range results {
+		nodes += r.Nodes
+		if !r.Found {
+			continue
+		}
+		if len(r.Mask) != words {
+			return wideScored{}, false, 0, fmt.Errorf("core: corrupt shard result: mask has %d words, want %d", len(r.Mask), words)
+		}
+		s := wideScored{mask: bitset(r.Mask), width: r.Width, gain: r.Gain, coverage: r.Coverage}
+		if !found || wideBetter(s, best) || (wideTie(s, best) && s.mask.less(best.mask)) {
+			best = s
+			found = true
+		}
+	}
+	return best, found, nodes, nil
+}

@@ -31,6 +31,13 @@ type Config struct {
 	// same tie-breaks the serial scan applies, so parallelism never changes
 	// which candidate wins. Strategies that cannot shard reject Workers > 1.
 	Workers int
+	// Runner executes the shard tasks of a sharding strategy. Nil means
+	// LocalRunner (the in-process pool). A runner is a transport, not a
+	// knob: every conforming runner returns byte-identical shard results,
+	// so Select's outcome never depends on which one executed the scan —
+	// the session memo layer erases it from its key on the same grounds as
+	// Workers. Strategies that cannot shard reject a non-nil Runner.
+	Runner ShardRunner
 }
 
 // Candidate is one width-feasible message combination with its scores.

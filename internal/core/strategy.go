@@ -171,6 +171,10 @@ func ValidateConfig(cfg Config) error {
 		return fmt.Errorf("core: method %s does not support Workers > 1 (supported by: %s)",
 			s.Name(), strings.Join(methodNamesWhere(func(c Capabilities) bool { return c.Workers }), ", "))
 	}
+	if cfg.Runner != nil && !caps.Workers {
+		return fmt.Errorf("core: method %s does not shard, so a ShardRunner cannot apply (supported by: %s)",
+			s.Name(), strings.Join(methodNamesWhere(func(c Capabilities) bool { return c.Workers }), ", "))
+	}
 	return nil
 }
 

@@ -5,10 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"runtime/pprof"
 	"sort"
-	"strconv"
-	"sync"
 )
 
 // branchBoundStrategy is the exact lattice search. It shards its root
@@ -220,6 +217,31 @@ func (w *bbWorker) run(ctx context.Context, start, stride int) error {
 	return nil
 }
 
+// newBBSearch builds the shared read-only search state: the gain-density
+// order (stable, so density ties keep ascending universe order) and the
+// budget/node-cap parameters. Remote shard workers rebuild this from their
+// own evaluator; the sort is deterministic over bit-identical gains, so
+// every process derives the same order.
+func newBBSearch(e *Evaluator, budget int, maxNodes int64) *bbSearch {
+	n := len(e.universe)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := e.gainOf[order[a]] / float64(e.widthOf[order[a]])
+		db := e.gainOf[order[b]] / float64(e.widthOf[order[b]])
+		return da > db
+	})
+	return &bbSearch{
+		e:         e,
+		order:     order,
+		budget:    budget,
+		maxNodes:  maxNodes,
+		numStates: float64(e.p.NumStates()),
+	}
+}
+
 // selectBranchBound is the exact Step-2 search without the 2^n sweep:
 // depth-first over the message lattice in gain-density order (each subset
 // visited at most once: a node's children extend it with strictly later
@@ -236,22 +258,14 @@ func (w *bbWorker) run(ctx context.Context, start, stride int) error {
 // exhaustive winner, byte for byte, wherever exhaustive is feasible. The
 // differential suite pins this, Workers 1 and 4, under -race.
 //
-// Workers shard root branches round-robin (worker w explores roots w,
-// w+workers, ...), each with its own incumbent and path state; the merge
-// applies the full comparator in ascending root order, so any worker
-// count — including one — selects a byte-identical result.
+// Workers shard root branches round-robin — one ShardTask per worker, task
+// w exploring roots w, w+workers, ... — dispatched through the Config's
+// ShardRunner (LocalRunner by default), each task with its own incumbent
+// and path state; the merge applies the full comparator in ascending root
+// order, so any worker count and any runner selects a byte-identical
+// result.
 func selectBranchBound(ctx context.Context, e *Evaluator, cfg Config) (Candidate, error) {
 	n := len(e.universe)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da := e.gainOf[order[a]] / float64(e.widthOf[order[a]])
-		db := e.gainOf[order[b]] / float64(e.widthOf[order[b]])
-		return da > db
-	})
-
 	anyFits := false
 	for i := 0; i < n && !anyFits; i++ {
 		anyFits = e.widthOf[i] <= cfg.BufferWidth
@@ -260,13 +274,6 @@ func selectBranchBound(ctx context.Context, e *Evaluator, cfg Config) (Candidate
 		return Candidate{}, errNothingFits(cfg.BufferWidth)
 	}
 
-	s := &bbSearch{
-		e:         e,
-		order:     order,
-		budget:    cfg.BufferWidth,
-		maxNodes:  int64(cfg.MaxCandidates),
-		numStates: float64(e.p.NumStates()),
-	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -282,68 +289,27 @@ func selectBranchBound(ctx context.Context, e *Evaluator, cfg Config) (Candidate
 		workers = n
 	}
 
-	pool := make([]*bbWorker, workers)
-	for i := range pool {
-		pool[i] = &bbWorker{s: s, path: newBitset(n), vis: newBitset(e.p.NumStates())}
-	}
-	errs := make([]error, workers)
-	if workers == 1 {
-		errs[0] = pool[0].run(ctx, 0, 1)
-	} else {
-		var wg sync.WaitGroup
-		for i := range pool {
-			wg.Add(1)
-			go pprof.Do(context.Background(),
-				pprof.Labels("tracescale.pool", "select-branch-bound", "tracescale.shard", strconv.Itoa(i)),
-				func(context.Context) {
-					defer wg.Done()
-					errs[i] = pool[i].run(ctx, i, workers)
-				})
-		}
-		wg.Wait()
-	}
-
-	var nodes, cancelled int64
-	for _, w := range pool {
-		nodes += w.nodes
-	}
-	var firstErr error
-	for _, err := range errs {
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			cancelled++
+	tasks := make([]ShardTask, workers)
+	for i := range tasks {
+		tasks[i] = ShardTask{
+			Method:   BranchBound,
+			Start:    i,
+			Stride:   workers,
+			MaxNodes: int64(cfg.MaxCandidates),
+			Budget:   cfg.BufferWidth,
 		}
 	}
-	reg := e.p.Obs()
-	if firstErr != nil {
-		if ctx.Err() != nil {
-			if reg != nil {
-				reg.Add("core.select.shards_cancelled", cancelled)
-			}
-			return Candidate{}, ctx.Err()
-		}
-		return Candidate{}, firstErr
+	results, errs := runShards(ctx, e, cfg.runner(), tasks, "select-branch-bound")
+	if err := collectShardErrs(ctx, e, errs); err != nil {
+		return Candidate{}, err
 	}
-	if reg != nil {
+	best, found, nodes, err := mergeBranchBoundShards(results, maskWords(BranchBound, n))
+	if err != nil {
+		return Candidate{}, err
+	}
+	if reg := e.p.Obs(); reg != nil {
 		reg.Add("core.select.bb_nodes", nodes)
 		reg.Gauge("core.select.workers").Set(int64(workers))
-	}
-
-	// Merge local incumbents in ascending root order with the exhaustive
-	// merge's comparator.
-	var best wideScored
-	found := false
-	for _, w := range pool {
-		if !w.found {
-			continue
-		}
-		if !found || wideBetter(w.best, best) ||
-			(wideTie(w.best, best) && w.best.mask.less(best.mask)) {
-			best = w.best
-			found = true
-		}
 	}
 	if !found {
 		// Unreachable given anyFits, but kept as a defensive parity with

@@ -5,9 +5,6 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"runtime/pprof"
-	"strconv"
-	"sync"
 )
 
 // exhaustiveStrategy is the paper's reference search: enumerate every
@@ -128,12 +125,15 @@ func errTooManyMasks(n, maxCandidates int) error {
 
 // selectExhaustive is Steps 1-2 as written in the paper: enumerate every
 // message combination with total width within the buffer, score each, keep
-// the best. The mask space [1, 2^n) is sharded across workers as contiguous
-// ascending ranges; per-shard incumbents are merged in shard order with the
+// the best. The mask space [1, 2^n) is split into contiguous ascending
+// ranges — one ShardTask per worker — dispatched through the Config's
+// ShardRunner (LocalRunner when none is set, so the default is the
+// in-process pool); per-shard incumbents are merged in task order with the
 // serial scan's exact tie-breaks (equal-score candidates keep the lowest
-// mask), so any worker count — including one — selects a byte-identical
-// result. The lowest-mask tie-break is what reproduces the paper's choice
-// of {ReqE, GntE} among the toy example's three gain-tied pairs.
+// mask), so any worker count and any runner — including a remote one —
+// selects a byte-identical result. The lowest-mask tie-break is what
+// reproduces the paper's choice of {ReqE, GntE} among the toy example's
+// three gain-tied pairs.
 //
 // Cancelling ctx makes every shard abort at its next poll boundary; the
 // join then discards the partial incumbents and returns ctx's error, so a
@@ -166,76 +166,23 @@ func selectExhaustive(ctx context.Context, e *Evaluator, cfg Config) (Candidate,
 		workers = int(end - 1)
 	}
 
-	var (
-		best  scored
-		found bool
-		all   []Candidate
-	)
-	if workers == 1 {
-		var err error
-		best, found, all, err = e.scanMasks(ctx, 1, end, cfg.BufferWidth, cfg.KeepCandidates)
-		if err != nil {
-			if reg := e.p.Obs(); reg != nil {
-				reg.Counter("core.select.shards_cancelled").Inc()
-			}
-			return Candidate{}, nil, err
+	tasks := make([]ShardTask, workers)
+	span := (end - 1) / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := 1 + uint64(w)*span
+		hi := lo + span
+		if w == workers-1 {
+			hi = end
 		}
-	} else {
-		type shard struct {
-			best  scored
-			found bool
-			all   []Candidate
-			err   error
-		}
-		shards := make([]shard, workers)
-		span := (end - 1) / uint64(workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := 1 + uint64(w)*span
-			hi := lo + span
-			if w == workers-1 {
-				hi = end
-			}
-			wg.Add(1)
-			// pprof labels attribute CPU samples to the shard, so profiles
-			// of the selector pool show which mask ranges burn the time.
-			go pprof.Do(context.Background(),
-				pprof.Labels("tracescale.pool", "select-exhaustive", "tracescale.shard", strconv.Itoa(w)),
-				func(context.Context) {
-					defer wg.Done()
-					s := &shards[w]
-					s.best, s.found, s.all, s.err = e.scanMasks(ctx, lo, hi, cfg.BufferWidth, cfg.KeepCandidates)
-				})
-		}
-		wg.Wait()
-		// Every shard goroutine has exited by here; a cancelled scan leaves
-		// errored shards whose partial incumbents must not reach the merge.
-		var cancelled int64
-		for _, s := range shards {
-			if s.err != nil {
-				cancelled++
-			}
-		}
-		if cancelled > 0 {
-			if reg := e.p.Obs(); reg != nil {
-				reg.Add("core.select.shards_cancelled", cancelled)
-			}
-			return Candidate{}, nil, ctx.Err()
-		}
-		// Merge in ascending shard (= ascending mask) order. Strict-better
-		// replacement plus the explicit lowest-mask tie-break reproduces the
-		// serial incumbent rule even if shard order were ever perturbed.
-		for _, s := range shards {
-			if !s.found {
-				continue
-			}
-			if !found || betterScored(s.best, best) ||
-				(tieScored(s.best, best) && s.best.mask < best.mask) {
-				best = s.best
-				found = true
-			}
-			all = append(all, s.all...)
-		}
+		tasks[w] = ShardTask{Method: Exhaustive, Lo: lo, Hi: hi, Budget: cfg.BufferWidth, Keep: cfg.KeepCandidates}
+	}
+	results, errs := runShards(ctx, e, cfg.runner(), tasks, "select-exhaustive")
+	if err := collectShardErrs(ctx, e, errs); err != nil {
+		return Candidate{}, nil, err
+	}
+	best, found, all, err := mergeExhaustiveShards(results)
+	if err != nil {
+		return Candidate{}, nil, err
 	}
 	if reg := e.p.Obs(); reg != nil {
 		enumerated := int64(end - 1)

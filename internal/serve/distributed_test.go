@@ -1,0 +1,679 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tracescale/internal/core"
+	"tracescale/internal/flow"
+	"tracescale/internal/obs"
+	"tracescale/internal/pipeline"
+	"tracescale/internal/spec"
+	"tracescale/internal/synth"
+)
+
+// startWorkers launches n worker-mode handlers on httptest servers and
+// returns their base URLs.
+func startWorkers(t testing.TB, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := httptest.NewServer(NewHandler(Config{Worker: true, MaxInFlight: 64}))
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// universeScenario renders a seeded synth universe as a serializable
+// scenario, so the coordinator and every worker rebuild structurally
+// identical instance sets from the same bytes.
+func universeScenario(t testing.TB, name string, messages, flows int, p synth.Params, seed int64, width int) *spec.Scenario {
+	t.Helper()
+	insts, err := synth.Universe(messages, flows, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := make([]*flow.Flow, len(insts))
+	for i, in := range insts {
+		fs[i] = in.Flow
+	}
+	return spec.FromFlows(name, fs, insts, width)
+}
+
+// sessionFor builds the coordinator-side evaluator for a scenario.
+func sessionFor(t testing.TB, sc *spec.Scenario) *pipeline.Session {
+	t.Helper()
+	insts, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := pipeline.NewSession(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ses
+}
+
+func marshalResult(t testing.TB, res *core.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDistributedMatchesLocalDifferential is the determinism contract of
+// the whole distributed seam: across ≥ 40 seeded universes — exhaustive
+// mask scans and, past the 63-message single-word ceiling, branch-bound
+// multi-word searches — a selection fanned out over 1, 2, and 4 remote
+// workers is byte-identical to the in-process pool's.
+func TestDistributedMatchesLocalDifferential(t *testing.T) {
+	urls := startWorkers(t, 4)
+	rng := rand.New(rand.NewSource(20260808))
+	feasible := 0
+	for trial := 0; trial < 44; trial++ {
+		messages := 6 + rng.Intn(11) // 6..16: exhaustive territory
+		method := core.Exhaustive
+		if trial >= 36 {
+			// Multi-word masks: the 64-message boundary and beyond.
+			messages = 64 + rng.Intn(9) // 64..72
+			method = core.BranchBound
+		}
+		flows := 1 + rng.Intn(3)
+		if flows > messages {
+			flows = messages
+		}
+		budget := 1 + rng.Intn(24)
+		sc := universeScenario(t, "diff", messages, flows,
+			synth.Params{MaxWidth: 1 + rng.Intn(7), IPs: 3}, 9000+int64(trial), budget)
+		e := sessionFor(t, sc).Evaluator()
+
+		cfg := core.Config{BufferWidth: budget, Method: method, Workers: 4}
+		if method == core.Exhaustive && messages <= 10 && trial%5 == 0 {
+			// Candidate dumps ride the shard wire too; keep them small.
+			cfg.KeepCandidates = true
+		}
+		local, lerr := core.SelectContext(context.Background(), e, cfg)
+		if lerr == nil {
+			feasible++
+		}
+		var want []byte
+		if lerr == nil {
+			want = marshalResult(t, local)
+		}
+		for _, wn := range []int{1, 2, 4} {
+			rcfg := cfg
+			rcfg.Runner = NewHTTPRunner(urls[:wn], sc, nil, 0, 0, nil)
+			remote, rerr := core.SelectContext(context.Background(), e, rcfg)
+			if (lerr == nil) != (rerr == nil) {
+				t.Fatalf("trial %d (n=%d budget=%d %v, %d workers): local err %v vs distributed err %v",
+					trial, messages, budget, method, wn, lerr, rerr)
+			}
+			if lerr != nil {
+				if lerr.Error() != rerr.Error() {
+					t.Errorf("trial %d: error text diverged: %q vs %q", trial, lerr, rerr)
+				}
+				continue
+			}
+			if got := marshalResult(t, remote); !bytes.Equal(got, want) {
+				t.Errorf("trial %d (n=%d budget=%d %v, %d workers): distributed result diverged\n got %s\nwant %s",
+					trial, messages, budget, method, wn, got, want)
+			}
+		}
+	}
+	if feasible < 30 {
+		t.Fatalf("only %d feasible trials — the generator parameters drifted", feasible)
+	}
+}
+
+// TestCoordinatorHandlerMatchesLocalHandler runs the same differential end
+// to end through HTTP handlers: a coordinator configured with a worker
+// fleet must answer POST /select with the same bytes a standalone server
+// produces.
+func TestCoordinatorHandlerMatchesLocalHandler(t *testing.T) {
+	urls := startWorkers(t, 2)
+	local := NewHandler(Config{Registry: obs.NewRegistry()})
+	coordReg := obs.NewRegistry()
+	coord := NewHandler(Config{Registry: coordReg, Workers: urls})
+
+	for _, tc := range []struct {
+		name  string
+		extra map[string]any
+		sc    *spec.Scenario
+	}{
+		{"exhaustive", map[string]any{"workers": 4},
+			universeScenario(t, "e2e-ex", 12, 2, synth.Params{MaxWidth: 5, IPs: 3}, 31, 12)},
+		{"branch-bound", map[string]any{"workers": 4, "method": "branch-bound"},
+			universeScenario(t, "e2e-bb", 66, 2, synth.Params{MaxWidth: 5, IPs: 3}, 32, 20)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			body := merge(t, tc.sc, tc.extra)
+			lrec := post(t, local, body)
+			crec := post(t, coord, body)
+			if lrec.Code != http.StatusOK || crec.Code != http.StatusOK {
+				t.Fatalf("status local=%d coordinator=%d (coordinator body %s)", lrec.Code, crec.Code, crec.Body)
+			}
+			if !bytes.Equal(lrec.Body.Bytes(), crec.Body.Bytes()) {
+				t.Errorf("coordinator response diverged\n got %s\nwant %s", crec.Body, lrec.Body)
+			}
+		})
+	}
+	snap := coordReg.Snapshot()
+	if snap["serve.shard.ok"] == 0 || snap["core.runner.http.shards"] == 0 {
+		t.Errorf("coordinator never used the fleet: %v", snap)
+	}
+	if snap["serve.shard.fallback_local"] != 0 {
+		t.Errorf("healthy fleet fell back locally %d times", snap["serve.shard.fallback_local"])
+	}
+}
+
+// Misbehaving-worker doubles.
+
+// dropConns hijacks and closes every connection — a worker that dies
+// before writing a response.
+func dropConns() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+}
+
+// status returns a fixed status with an errorBody payload.
+func status(code int, msg string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, code, errorBody{Error: msg})
+	})
+}
+
+// corruptJSON answers 200 with bytes that are not a ShardResponse.
+func corruptJSON() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"found": tru`))
+	})
+}
+
+// parkUntilGone blocks until the client abandons the request. The body
+// must be drained first: the server only watches for the client closing
+// the connection once the buffered request bytes are consumed, so an
+// undrained park would outlive the test. The timer is a backstop that
+// keeps a bug here from wedging the whole suite.
+func parkUntilGone(w http.ResponseWriter, r *http.Request) {
+	io.Copy(io.Discard, r.Body)
+	select {
+	case <-r.Context().Done():
+	case <-time.After(30 * time.Second):
+	}
+}
+
+// slowThenReal parks the first call until the client gives up, then
+// forwards the rest to a real worker — a worker that was briefly stuck.
+func slowThenReal(real http.Handler) http.Handler {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			parkUntilGone(w, r)
+			return
+		}
+		real.ServeHTTP(w, r)
+	})
+}
+
+// dieAfter forwards n calls to a real worker, then drops every connection
+// — a worker that dies mid-campaign.
+func dieAfter(n int64, real http.Handler) http.Handler {
+	var calls atomic.Int64
+	drop := dropConns()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) > n {
+			drop.ServeHTTP(w, r)
+			return
+		}
+		real.ServeHTTP(w, r)
+	})
+}
+
+// TestShardFaultInjection drives HTTPRunner through every worker failure
+// class on a single-shard selection (Workers 1, so every counter is exact)
+// and pins the retry / re-dispatch / fallback accounting plus the
+// determinism guarantee that whatever path the shard took, the Result
+// matches the local scan.
+func TestShardFaultInjection(t *testing.T) {
+	realWorker := NewHandler(Config{Worker: true, MaxInFlight: 64})
+	sc := universeScenario(t, "fault", 10, 2, synth.Params{MaxWidth: 5, IPs: 3}, 77, 10)
+	e := sessionFor(t, sc).Evaluator()
+	baseCfg := core.Config{BufferWidth: 10, Method: core.Exhaustive, Workers: 1}
+	local, err := core.SelectContext(context.Background(), e, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalResult(t, local)
+
+	cases := []struct {
+		name                                     string
+		workers                                  []http.Handler // nil entry = a real healthy worker
+		retries                                  int
+		wantErr                                  string // empty = selection must succeed and match local
+		posted, retries_, redispatched, fallback int64
+	}{
+		{
+			name:    "500 then redispatch to healthy",
+			workers: []http.Handler{status(500, "boom"), nil},
+			retries: 1,
+			posted:  2, retries_: 1, redispatched: 1, fallback: 0,
+		},
+		{
+			name:    "corrupt reply falls back local",
+			workers: []http.Handler{corruptJSON()},
+			retries: 0,
+			posted:  1, retries_: 0, redispatched: 0, fallback: 1,
+		},
+		{
+			name:    "every worker drops the connection",
+			workers: []http.Handler{dropConns(), dropConns()},
+			retries: 1,
+			posted:  2, retries_: 1, redispatched: 1, fallback: 1,
+		},
+		{
+			name:    "timeout retries the same worker",
+			workers: []http.Handler{slowThenReal(realWorker)},
+			retries: 1,
+			posted:  2, retries_: 1, redispatched: 0, fallback: 0,
+		},
+		{
+			name:    "empty worker set",
+			workers: nil,
+			retries: 3,
+			posted:  0, retries_: 0, redispatched: 0, fallback: 1,
+		},
+		{
+			name:    "terminal worker rejection",
+			workers: []http.Handler{status(422, "core: worker rejected the task")},
+			retries: 3,
+			wantErr: "worker rejected the task",
+			posted:  1, retries_: 0, redispatched: 0, fallback: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			urls := make([]string, len(tc.workers))
+			for i, wh := range tc.workers {
+				if wh == nil {
+					wh = realWorker
+				}
+				srv := httptest.NewServer(wh)
+				defer srv.Close()
+				urls[i] = srv.URL
+			}
+			reg := obs.NewRegistry()
+			cfg := baseCfg
+			cfg.Runner = NewHTTPRunner(urls, sc, nil, 100*time.Millisecond, tc.retries, reg)
+			res, err := core.SelectContext(context.Background(), e, cfg)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("selection failed: %v", err)
+				}
+				if got := marshalResult(t, res); !bytes.Equal(got, want) {
+					t.Errorf("faulted path diverged from local\n got %s\nwant %s", got, want)
+				}
+			}
+			snap := reg.Snapshot()
+			for counter, wantN := range map[string]int64{
+				"serve.shard.posted":         tc.posted,
+				"serve.shard.retries":        tc.retries_,
+				"serve.shard.redispatched":   tc.redispatched,
+				"serve.shard.fallback_local": tc.fallback,
+			} {
+				if snap[counter] != wantN {
+					t.Errorf("%s = %d, want %d (snapshot %v)", counter, snap[counter], wantN, snap)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerDiesMidCampaign fans a four-shard scan over two workers, one
+// of which dies after its first shard: the campaign must re-dispatch the
+// dropped shards to the survivor and still produce the local bytes.
+func TestWorkerDiesMidCampaign(t *testing.T) {
+	realWorker := NewHandler(Config{Worker: true, MaxInFlight: 64})
+	sc := universeScenario(t, "mid-death", 14, 2, synth.Params{MaxWidth: 5, IPs: 3}, 78, 12)
+	e := sessionFor(t, sc).Evaluator()
+	cfg := core.Config{BufferWidth: 12, Method: core.Exhaustive, Workers: 4}
+	local, err := core.SelectContext(context.Background(), e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dying := httptest.NewServer(dieAfter(1, realWorker))
+	defer dying.Close()
+	healthy := httptest.NewServer(realWorker)
+	defer healthy.Close()
+
+	reg := obs.NewRegistry()
+	rcfg := cfg
+	rcfg.Runner = NewHTTPRunner([]string{dying.URL, healthy.URL}, sc, nil, 0, 2, reg)
+	res, err := core.SelectContext(context.Background(), e, rcfg)
+	if err != nil {
+		t.Fatalf("campaign with a dying worker failed: %v", err)
+	}
+	if got, want := marshalResult(t, res), marshalResult(t, local); !bytes.Equal(got, want) {
+		t.Errorf("result diverged after mid-campaign death\n got %s\nwant %s", got, want)
+	}
+	snap := reg.Snapshot()
+	// Shard scheduling races the death, so exact counts vary — but the
+	// campaign must have survived without local fallback, and at least one
+	// shard must have moved to the survivor.
+	if snap["serve.shard.ok"] != 4 {
+		t.Errorf("serve.shard.ok = %d, want 4", snap["serve.shard.ok"])
+	}
+	if snap["serve.shard.redispatched"] < 1 {
+		t.Errorf("no shard was re-dispatched: %v", snap)
+	}
+	if snap["serve.shard.fallback_local"] != 0 {
+		t.Errorf("campaign fell back locally %d times with a healthy survivor", snap["serve.shard.fallback_local"])
+	}
+}
+
+// TestShardCancelSkipsFallback pins the cancellation rule: when the
+// selection's own context dies, RunShard surfaces the context error
+// immediately — no retry burn, no local fallback that would keep scanning
+// for a caller that is gone.
+func TestShardCancelSkipsFallback(t *testing.T) {
+	blocked := httptest.NewServer(http.HandlerFunc(parkUntilGone))
+	defer blocked.Close()
+
+	sc := universeScenario(t, "cancel", 10, 2, synth.Params{MaxWidth: 5, IPs: 3}, 79, 10)
+	e := sessionFor(t, sc).Evaluator()
+	reg := obs.NewRegistry()
+	cfg := core.Config{BufferWidth: 10, Method: core.Exhaustive, Workers: 1}
+	cfg.Runner = NewHTTPRunner([]string{blocked.URL}, sc, nil, time.Minute, 3, reg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := core.SelectContext(ctx, e, cfg)
+	if !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("err = %v, want the context deadline", err)
+	}
+	snap := reg.Snapshot()
+	if snap["serve.shard.fallback_local"] != 0 || snap["serve.shard.retries"] != 0 {
+		t.Errorf("cancelled selection burned retries/fallback: %v", snap)
+	}
+}
+
+// TestWorkerModeRoutes pins the worker-mode surface: /shard serves shard
+// tasks, the coordinator endpoints are absent, and invalid tasks map to
+// the terminal statuses HTTPRunner relies on.
+func TestWorkerModeRoutes(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHandler(Config{Registry: reg, Worker: true})
+	sc := universeScenario(t, "routes", 8, 2, synth.Params{MaxWidth: 4, IPs: 3}, 80, 8)
+
+	shardBody := func(mutate func(*ShardRequest)) []byte {
+		sreq := ShardRequest{Scenario: *sc, Method: "exhaustive", Lo: 1, Hi: 1 << 8, Budget: 8}
+		if mutate != nil {
+			mutate(&sreq)
+		}
+		data, err := json.Marshal(sreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/select", bytes.NewReader(toyBody(t, nil))))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("worker served /select with %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/shard", bytes.NewReader(shardBody(nil))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shard status = %d (body %s)", rec.Code, rec.Body)
+	}
+	res, err := decodeShardResponse(rec.Body.Bytes(), 1, false)
+	if err != nil {
+		t.Fatalf("worker reply failed validation: %v", err)
+	}
+	if !res.Found {
+		t.Error("full-range shard over a feasible scenario found nothing")
+	}
+	if got := reg.Snapshot()["serve.shard.served"]; got != 1 {
+		t.Errorf("serve.shard.served = %d, want 1", got)
+	}
+
+	for name, tc := range map[string]struct {
+		body []byte
+		want int
+	}{
+		"unknown method":      {shardBody(func(s *ShardRequest) { s.Method = "quantum" }), http.StatusBadRequest},
+		"non-sharding method": {shardBody(func(s *ShardRequest) { s.Method = "knapsack" }), http.StatusUnprocessableEntity},
+		"inverted range":      {shardBody(func(s *ShardRequest) { s.Lo = 9; s.Hi = 3 }), http.StatusUnprocessableEntity},
+		"zero budget":         {shardBody(func(s *ShardRequest) { s.Budget = 0 }), http.StatusUnprocessableEntity},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/shard", bytes.NewReader(tc.body)))
+			if rec.Code != tc.want {
+				t.Errorf("status = %d, want %d (body %s)", rec.Code, tc.want, rec.Body)
+			}
+		})
+	}
+}
+
+// FuzzShardResponse hardens the coordinator's trust boundary: whatever
+// bytes a worker returns, decodeShardResponse either rejects them or
+// yields a ShardResult that honors every merge invariant.
+func FuzzShardResponse(f *testing.F) {
+	f.Add([]byte(`{"found":true,"mask":[5],"width":2,"gain":1.5,"coverage":0.5}`), uint8(1), false)
+	f.Add([]byte(`{"found":false}`), uint8(1), false)
+	f.Add([]byte(`{"found":true,"mask":[1,2],"width":3,"gain":0.25,"coverage":1,"nodes":9}`), uint8(2), false)
+	f.Add([]byte(`{"found":true,"mask":[3],"width":1,"gain":1,"coverage":0.5,"candidates":[{"messages":["a"],"width":1,"gain":1,"coverage":0.5}]}`), uint8(1), true)
+	f.Add([]byte(`{"found":true,"mask":[0],"gain":1e999}`), uint8(1), false)
+	f.Add([]byte(`{"found":true}{"found":true}`), uint8(1), false)
+	f.Fuzz(func(t *testing.T, data []byte, words uint8, keep bool) {
+		wantWords := 1 + int(words%4)
+		res, err := decodeShardResponse(data, wantWords, keep)
+		if err != nil {
+			return
+		}
+		if !res.Found {
+			if res.Mask != nil || res.Candidates != nil || res.Gain != 0 || res.Coverage != 0 || res.Width != 0 {
+				t.Fatalf("not-found result carries data: %+v", res)
+			}
+			return
+		}
+		if len(res.Mask) != wantWords {
+			t.Fatalf("accepted mask of %d words, want %d", len(res.Mask), wantWords)
+		}
+		nonzero := false
+		for _, w := range res.Mask {
+			nonzero = nonzero || w != 0
+		}
+		if !nonzero {
+			t.Fatal("accepted an all-zero mask")
+		}
+		if math.IsNaN(res.Gain) || math.IsInf(res.Gain, 0) || res.Gain < 0 {
+			t.Fatalf("accepted gain %v", res.Gain)
+		}
+		if math.IsNaN(res.Coverage) || res.Coverage < 0 || res.Coverage > 1 {
+			t.Fatalf("accepted coverage %v", res.Coverage)
+		}
+		if res.Width < 0 || res.Nodes < 0 {
+			t.Fatalf("accepted negative width/nodes: %+v", res)
+		}
+		if !keep && len(res.Candidates) > 0 {
+			t.Fatal("accepted unrequested candidates")
+		}
+	})
+}
+
+// postTo is post against an arbitrary path.
+func postTo(t testing.TB, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	return rec
+}
+
+// batchBody renders the toy scenario with a batch of option sets.
+func batchBody(t testing.TB, batch []map[string]any) []byte {
+	t.Helper()
+	f := flow.CacheCoherence()
+	s := spec.FromFlows("toy-cache-coherence", []*flow.Flow{f},
+		[]flow.Instance{{Flow: f, Index: 1}, {Flow: f, Index: 2}}, 2)
+	return merge(t, s, map[string]any{"batch": batch})
+}
+
+// TestBatchDedupesDuplicateConfigs pins the batch economics: N duplicate
+// option sets plus M distinct ones cost exactly M scans — duplicates share
+// one computation through the pipeline singleflight (or the store, if they
+// arrive late), never a scan each.
+func TestBatchDedupesDuplicateConfigs(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHandler(Config{Registry: reg})
+	batch := []map[string]any{
+		{}, {}, {}, {}, {}, {}, // 6 duplicates of the default config
+		{"method": "knapsack"},
+		{"width": 3},
+	}
+	rec := postTo(t, h, "/select/batch", batchBody(t, batch))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(batch) {
+		t.Fatalf("got %d results for %d items", len(resp.Results), len(batch))
+	}
+	first, err := json.Marshal(resp.Results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Results {
+		if item.Result == nil || item.Error != "" {
+			t.Fatalf("item %d failed: %q", i, item.Error)
+		}
+		if i < 6 {
+			got, _ := json.Marshal(item)
+			if !bytes.Equal(got, first) {
+				t.Errorf("duplicate item %d diverged from item 0", i)
+			}
+		}
+	}
+	if resp.Results[6].Result.Method != "knapsack" {
+		t.Errorf("item 6 method = %q, want knapsack", resp.Results[6].Result.Method)
+	}
+	snap := reg.Snapshot()
+	if snap["core.select.runs"] != 3 {
+		t.Errorf("core.select.runs = %d, want exactly 3 (6 dups + 2 distinct = 3 configs)", snap["core.select.runs"])
+	}
+	if snap["serve.batch.items"] != int64(len(batch)) {
+		t.Errorf("serve.batch.items = %d, want %d", snap["serve.batch.items"], len(batch))
+	}
+}
+
+// TestBatchErrorsAndLimits pins the batch failure surface: per-item errors
+// ride inside a 200, while malformed batches are rejected whole.
+func TestBatchErrorsAndLimits(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHandler(Config{Registry: reg, MaxBatch: 3})
+
+	rec := postTo(t, h, "/select/batch", batchBody(t, []map[string]any{
+		{}, {"method": "quantum"},
+	}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Result == nil {
+		t.Errorf("healthy item failed: %q", resp.Results[0].Error)
+	}
+	if !strings.Contains(resp.Results[1].Error, "unknown method") {
+		t.Errorf("item error = %q, want the unknown-method rejection", resp.Results[1].Error)
+	}
+	if got := reg.Snapshot()["serve.batch.item_errors"]; got != 1 {
+		t.Errorf("serve.batch.item_errors = %d, want 1", got)
+	}
+
+	if rec := postTo(t, h, "/select/batch", batchBody(t, []map[string]any{})); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", rec.Code)
+	}
+	if rec := postTo(t, h, "/select/batch", batchBody(t, []map[string]any{{}, {}, {}, {}})); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversize batch status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/select/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch status = %d, want 405", rec.Code)
+	}
+}
+
+// TestStoreSpillSurvivesRestart drives the disk spill end to end at the
+// handler layer: a second server over the same store directory answers a
+// repeated selection byte-identically without running a single scan.
+func TestStoreSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := obs.NewRegistry()
+	store1, err := pipeline.NewResultStore(reg1, 8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := NewHandler(Config{Registry: reg1, Store: store1})
+	rec1 := post(t, h1, toyBody(t, nil))
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("first server status = %d", rec1.Code)
+	}
+
+	reg2 := obs.NewRegistry()
+	store2, err := pipeline.NewResultStore(reg2, 8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHandler(Config{Registry: reg2, Store: store2})
+	rec2 := post(t, h2, toyBody(t, nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("restarted server status = %d", rec2.Code)
+	}
+	if !bytes.Equal(rec1.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Errorf("restarted server answered differently\n got %s\nwant %s", rec2.Body, rec1.Body)
+	}
+	snap := reg2.Snapshot()
+	if snap["pipeline.store.disk_hits"] != 1 {
+		t.Errorf("pipeline.store.disk_hits = %d, want 1", snap["pipeline.store.disk_hits"])
+	}
+	if snap["core.select.runs"] != 0 {
+		t.Errorf("restarted server ran %d scans for a spilled result, want 0", snap["core.select.runs"])
+	}
+	if snap["pipeline.session.builds"] != 0 {
+		t.Errorf("restarted server built %d sessions for a spilled result, want 0", snap["pipeline.session.builds"])
+	}
+}

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"tracescale/internal/core"
+	"tracescale/internal/obs"
+	"tracescale/internal/spec"
+)
+
+// ShardRequest is the POST /shard body a coordinator sends a worker: the
+// scenario (so the worker rebuilds a structurally identical evaluator
+// through its own session cache) plus one core.ShardTask in wire form.
+type ShardRequest struct {
+	Scenario spec.Scenario `json:"scenario"`
+	Method   string        `json:"method"`
+	Lo       uint64        `json:"lo,omitempty"`
+	Hi       uint64        `json:"hi,omitempty"`
+	Keep     bool          `json:"keep,omitempty"`
+	Start    int           `json:"start"`
+	Stride   int           `json:"stride,omitempty"`
+	MaxNodes int64         `json:"maxNodes,omitempty"`
+	Budget   int           `json:"budget"`
+}
+
+// ShardResponse is the worker's 200 body: core.ShardResult in wire form.
+// Every field survives the JSON round trip exactly — mask words are uint64
+// JSON integers and Go encodes float64 in shortest form — which is what
+// lets the coordinator merge remote incumbents with the serial
+// comparator's tie-breaks and stay byte-identical to a local scan.
+type ShardResponse struct {
+	Found      bool        `json:"found"`
+	Mask       []uint64    `json:"mask,omitempty"`
+	Width      int         `json:"width,omitempty"`
+	Gain       float64     `json:"gain,omitempty"`
+	Coverage   float64     `json:"coverage,omitempty"`
+	Nodes      int64       `json:"nodes,omitempty"`
+	Candidates []Candidate `json:"candidates,omitempty"`
+}
+
+// shardRequestFor renders one task against a scenario.
+func shardRequestFor(sc *spec.Scenario, t core.ShardTask) ShardRequest {
+	return ShardRequest{
+		Scenario: *sc,
+		Method:   t.Method.String(),
+		Lo:       t.Lo,
+		Hi:       t.Hi,
+		Keep:     t.Keep,
+		Start:    t.Start,
+		Stride:   t.Stride,
+		MaxNodes: t.MaxNodes,
+		Budget:   t.Budget,
+	}
+}
+
+// task converts the wire form back to a core.ShardTask (the worker side).
+func (sr *ShardRequest) task() (core.ShardTask, error) {
+	m, err := core.ParseMethod(sr.Method)
+	if err != nil {
+		return core.ShardTask{}, err
+	}
+	return core.ShardTask{
+		Method:   m,
+		Lo:       sr.Lo,
+		Hi:       sr.Hi,
+		Keep:     sr.Keep,
+		Start:    sr.Start,
+		Stride:   sr.Stride,
+		MaxNodes: sr.MaxNodes,
+		Budget:   sr.Budget,
+	}, nil
+}
+
+// finiteScore reports whether v can be a gain or coverage: finite, not NaN.
+func finiteScore(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// decodeShardResponse strictly decodes and validates a worker's shard
+// reply. The validation is the trust boundary of the distributed scan: a
+// worker's bytes never reach the merge comparator unless the mask has
+// exactly wantWords words with at least one bit set, the scores are finite
+// (coverage within [0, 1]), and counts are non-negative — so a corrupt or
+// adversarial reply degrades into a retry, never a perturbed tie-break.
+// This is also the FuzzShardResponse target.
+func decodeShardResponse(data []byte, wantWords int, keep bool) (core.ShardResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sr ShardResponse
+	if err := dec.Decode(&sr); err != nil {
+		return core.ShardResult{}, fmt.Errorf("serve: decoding shard response: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return core.ShardResult{}, errors.New("serve: trailing data after shard response")
+	}
+	if sr.Nodes < 0 {
+		return core.ShardResult{}, fmt.Errorf("serve: negative shard node count %d", sr.Nodes)
+	}
+	if !keep && len(sr.Candidates) > 0 {
+		return core.ShardResult{}, fmt.Errorf("serve: %d unrequested shard candidates", len(sr.Candidates))
+	}
+	if !sr.Found {
+		if len(sr.Mask) != 0 || sr.Width != 0 || sr.Gain != 0 || sr.Coverage != 0 || len(sr.Candidates) != 0 {
+			return core.ShardResult{}, errors.New("serve: shard response carries a result but found=false")
+		}
+		return core.ShardResult{Nodes: sr.Nodes}, nil
+	}
+	if len(sr.Mask) != wantWords {
+		return core.ShardResult{}, fmt.Errorf("serve: shard mask has %d words, want %d", len(sr.Mask), wantWords)
+	}
+	empty := true
+	for _, w := range sr.Mask {
+		if w != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return core.ShardResult{}, errors.New("serve: shard result mask is empty")
+	}
+	if sr.Width < 0 {
+		return core.ShardResult{}, fmt.Errorf("serve: negative shard width %d", sr.Width)
+	}
+	if !finiteScore(sr.Gain) || sr.Gain < 0 {
+		return core.ShardResult{}, fmt.Errorf("serve: shard gain %v out of range", sr.Gain)
+	}
+	if !finiteScore(sr.Coverage) || sr.Coverage < 0 || sr.Coverage > 1 {
+		return core.ShardResult{}, fmt.Errorf("serve: shard coverage %v outside [0, 1]", sr.Coverage)
+	}
+	res := core.ShardResult{
+		Found:    true,
+		Mask:     sr.Mask,
+		Width:    sr.Width,
+		Gain:     sr.Gain,
+		Coverage: sr.Coverage,
+		Nodes:    sr.Nodes,
+	}
+	for i, c := range sr.Candidates {
+		if len(c.Messages) == 0 {
+			return core.ShardResult{}, fmt.Errorf("serve: shard candidate %d has no messages", i)
+		}
+		if c.Width < 0 || !finiteScore(c.Gain) || c.Gain < 0 || !finiteScore(c.Coverage) || c.Coverage < 0 || c.Coverage > 1 {
+			return core.ShardResult{}, fmt.Errorf("serve: shard candidate %d scores out of range", i)
+		}
+		res.Candidates = append(res.Candidates, core.Candidate{
+			Messages: c.Messages, Width: c.Width, Gain: c.Gain, Coverage: c.Coverage,
+		})
+	}
+	return res, nil
+}
+
+// Defaults for the coordinator's per-shard fault handling.
+const (
+	DefaultShardTimeout = 30 * time.Second
+	DefaultShardRetries = 2
+)
+
+// HTTPRunner is the distributed core.ShardRunner: it posts each shard task
+// to a worker traceserved (round-robin over the worker set) and decodes
+// the validated reply. Fault handling per task: a failed attempt — connect
+// error, per-shard timeout, 5xx, 429, or a corrupt reply — is retried on
+// the next healthy worker up to the retry budget; workers whose failures
+// look persistent (anything but a timeout or 429) are quarantined for the
+// runner's lifetime, which is one coordinator request. When no healthy
+// worker remains or the budget is spent, the task falls back to
+// core.LocalRunner, so a coordinator with a dead fleet degrades to a local
+// scan instead of failing the selection. A worker's 4xx is terminal: the
+// worker evaluated the same task the coordinator would have and rejected
+// it (a node-cap overrun, an invalid range), so retrying elsewhere cannot
+// change the answer.
+//
+// The merge stays byte-identical to a local scan because RunShard returns
+// either the worker's validated ShardResult — whose scores round-trip
+// JSON exactly — or LocalRunner's, never a mixture.
+//
+// Counters (on the handler's registry): serve.shard.posted (attempts),
+// serve.shard.ok, serve.shard.errors (failed attempts),
+// serve.shard.retries (attempts beyond a task's first),
+// serve.shard.redispatched (retries that moved to a different worker),
+// serve.shard.fallback_local (tasks that fell back).
+type HTTPRunner struct {
+	workers  []string
+	scenario *spec.Scenario
+	client   *http.Client
+	timeout  time.Duration
+	retries  int
+	reg      *obs.Registry
+
+	mu     sync.Mutex
+	cursor int
+	down   []bool
+}
+
+// NewHTTPRunner builds a runner over the worker base URLs for one
+// scenario. client nil means http.DefaultClient; timeout ≤ 0 means
+// DefaultShardTimeout; retries < 0 means DefaultShardRetries.
+func NewHTTPRunner(workers []string, sc *spec.Scenario, client *http.Client, timeout time.Duration, retries int, reg *obs.Registry) *HTTPRunner {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = DefaultShardTimeout
+	}
+	if retries < 0 {
+		retries = DefaultShardRetries
+	}
+	return &HTTPRunner{
+		workers:  workers,
+		scenario: sc,
+		client:   client,
+		timeout:  timeout,
+		retries:  retries,
+		reg:      reg,
+		down:     make([]bool, len(workers)),
+	}
+}
+
+// Name identifies the runner in core.runner.* metrics.
+func (r *HTTPRunner) Name() string { return "http" }
+
+// nextHealthy picks the next non-quarantined worker round-robin.
+func (r *HTTPRunner) nextHealthy() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for range r.workers {
+		i := r.cursor % len(r.workers)
+		r.cursor++
+		if !r.down[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (r *HTTPRunner) quarantine(i int) {
+	r.mu.Lock()
+	r.down[i] = true
+	r.mu.Unlock()
+}
+
+// RunShard implements core.ShardRunner over the worker fleet.
+func (r *HTTPRunner) RunShard(ctx context.Context, e *core.Evaluator, t core.ShardTask) (core.ShardResult, error) {
+	payload, err := json.Marshal(shardRequestFor(r.scenario, t))
+	if err != nil {
+		return core.ShardResult{}, fmt.Errorf("serve: encoding shard request: %w", err)
+	}
+	wantWords := shardMaskWords(t.Method, len(e.Universe()))
+	prev := -1
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if ctx.Err() != nil {
+			return core.ShardResult{}, ctx.Err()
+		}
+		wi, ok := r.nextHealthy()
+		if !ok {
+			break
+		}
+		if attempt > 0 {
+			r.reg.Counter("serve.shard.retries").Inc()
+			if wi != prev {
+				r.reg.Counter("serve.shard.redispatched").Inc()
+			}
+		}
+		prev = wi
+		r.reg.Counter("serve.shard.posted").Inc()
+		res, disp, err := r.post(ctx, r.workers[wi], payload, wantWords, t.Keep)
+		if err == nil {
+			r.reg.Counter("serve.shard.ok").Inc()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The selection itself was cancelled; that is terminal and must
+			// not burn the retry budget or trip the local fallback.
+			return core.ShardResult{}, ctx.Err()
+		}
+		r.reg.Counter("serve.shard.errors").Inc()
+		switch disp {
+		case shardTerminal:
+			return core.ShardResult{}, err
+		case shardQuarantine:
+			r.quarantine(wi)
+		}
+	}
+	r.reg.Counter("serve.shard.fallback_local").Inc()
+	return core.LocalRunner{}.RunShard(ctx, e, t)
+}
+
+// shardDisposition classifies a failed attempt.
+type shardDisposition int
+
+const (
+	shardRetry      shardDisposition = iota // transient; worker stays eligible
+	shardQuarantine                         // persistent; bench the worker
+	shardTerminal                           // retrying cannot change the answer
+)
+
+// post runs one attempt against one worker under the per-shard timeout.
+func (r *HTTPRunner) post(ctx context.Context, base string, payload []byte, wantWords int, keep bool) (core.ShardResult, shardDisposition, error) {
+	actx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, base+"/shard", bytes.NewReader(payload))
+	if err != nil {
+		return core.ShardResult{}, shardTerminal, fmt.Errorf("serve: shard request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if actx.Err() != nil && ctx.Err() == nil {
+			// The per-shard deadline fired, not the selection's: a slow
+			// worker, not necessarily a dead one.
+			return core.ShardResult{}, shardRetry, fmt.Errorf("serve: shard timed out after %s: %w", r.timeout, err)
+		}
+		return core.ShardResult{}, shardQuarantine, fmt.Errorf("serve: posting shard: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardReply))
+	if err != nil {
+		return core.ShardResult{}, shardQuarantine, fmt.Errorf("serve: reading shard response: %w", err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		res, err := decodeShardResponse(body, wantWords, keep)
+		if err != nil {
+			return core.ShardResult{}, shardQuarantine, err
+		}
+		return res, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return core.ShardResult{}, shardRetry, fmt.Errorf("serve: worker saturated (429)")
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return core.ShardResult{}, shardTerminal, errors.New(eb.Error)
+		}
+		return core.ShardResult{}, shardTerminal, fmt.Errorf("serve: worker rejected shard with %d", resp.StatusCode)
+	default:
+		return core.ShardResult{}, shardQuarantine, fmt.Errorf("serve: worker shard error %d", resp.StatusCode)
+	}
+}
+
+// maxShardReply caps a worker reply. Candidate dumps dominate the size; a
+// reply past this is corrupt or hostile either way.
+const maxShardReply = 64 << 20
+
+// shardMaskWords mirrors the core package's mask layout: one word for an
+// exhaustive incumbent, ceil(n/64) little-endian words for branch-bound.
+func shardMaskWords(m core.Method, n int) int {
+	if m == core.Exhaustive {
+		return 1
+	}
+	return (n + 63) / 64
+}

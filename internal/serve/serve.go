@@ -21,6 +21,21 @@
 //     in-flight handlers, and because every selection hangs off a request
 //     context, nothing outlives the drain.
 //
+// Selections are answered store-first: a content-addressed ResultStore
+// (keyed by instance fingerprint + normalized config) is consulted before
+// the session layer, so a repeated selection — even across process
+// restarts when the store spills to disk — skips the scan entirely.
+// POST /select/batch runs many option sets against one scenario in a
+// single request; duplicate configs inside a batch singleflight through
+// the pipeline layer, so M distinct configs cost exactly M scans.
+//
+// The same handler also runs as a distributed worker (Config.Worker): it
+// then exposes POST /shard, which executes one core.ShardTask against the
+// scenario's evaluator and returns the shard incumbent. A coordinator
+// configured with Config.Workers fans its shard tasks out to workers via
+// HTTPRunner and merges replies with the same comparator the local pool
+// uses, so distributed selection is byte-identical to local.
+//
 // GET /healthz answers ok; GET /metrics snapshots the handler's obs
 // registry as JSON (the same payload the CLIs write via -metrics-json).
 package serve
@@ -31,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"tracescale/internal/core"
@@ -39,12 +55,9 @@ import (
 	"tracescale/internal/spec"
 )
 
-// Request is the POST /select body: a scenario spec with selection options
-// alongside. The spec fields are inline (not nested), so a scenario
-// document exported by tracesel -export-toy / -export-t2 is already a
-// valid request body.
-type Request struct {
-	spec.Scenario
+// Options are the selection knobs a request carries alongside its
+// scenario — one Step-2 configuration.
+type Options struct {
 	// Method selects the Step-2 strategy by name (core.ParseMethod);
 	// empty means exhaustive.
 	Method string `json:"method,omitempty"`
@@ -62,6 +75,33 @@ type Request struct {
 	// Only the exhaustive method supports it; any other method rejects the
 	// combination with a 422.
 	KeepCandidates bool `json:"keepCandidates,omitempty"`
+}
+
+// Request is the POST /select body: a scenario spec with selection options
+// alongside. Both embedded structs inline their fields, so a scenario
+// document exported by tracesel -export-toy / -export-t2 is already a
+// valid request body.
+type Request struct {
+	spec.Scenario
+	Options
+}
+
+// config resolves the options against the scenario's budget into the core
+// Config (Runner is attached separately by the coordinator).
+func (o Options) config(scenarioWidth int) (core.Config, error) {
+	cfg := core.Config{
+		BufferWidth:    scenarioWidth,
+		DisablePacking: o.NoPack,
+		MaxCandidates:  o.MaxCandidates,
+		Workers:        o.Workers,
+		KeepCandidates: o.KeepCandidates,
+	}
+	if o.Width > 0 {
+		cfg.BufferWidth = o.Width
+	}
+	var err error
+	cfg.Method, err = core.ParseMethod(o.Method)
+	return cfg, err
 }
 
 // Candidate mirrors core.Candidate with JSON tags.
@@ -97,6 +137,26 @@ type Response struct {
 	Candidates       []Candidate   `json:"candidates,omitempty"`
 }
 
+// BatchRequest is the POST /select/batch body: one scenario (inline, as in
+// Request) selected under every option set in Batch.
+type BatchRequest struct {
+	spec.Scenario
+	Batch []Options `json:"batch"`
+}
+
+// BatchItem is one batch entry's outcome: exactly one of Result or Error.
+type BatchItem struct {
+	Result *Response `json:"result,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /select/batch reply; Results is index-aligned
+// with the request's Batch.
+type BatchResponse struct {
+	Scenario string      `json:"scenario,omitempty"`
+	Results  []BatchItem `json:"results"`
+}
+
 // errorBody is every non-200 JSON payload.
 type errorBody struct {
 	Error string `json:"error"`
@@ -118,23 +178,54 @@ type Config struct {
 	// RequestTimeout bounds each selection beyond the client's own
 	// cancellation; zero means no server-side timeout.
 	RequestTimeout time.Duration
+	// Worker switches the handler into shard-worker mode: it serves only
+	// POST /shard (plus /healthz and /metrics) for a coordinator's
+	// HTTPRunner and never coordinates selections itself.
+	Worker bool
+	// Workers lists worker base URLs (e.g. http://127.0.0.1:8345). When
+	// non-empty, sharding methods fan their shard tasks out to these
+	// workers instead of the in-process pool; selections stay
+	// byte-identical, and an unreachable fleet degrades back to local.
+	Workers []string
+	// ShardTimeout bounds each remote shard attempt (0 =
+	// DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// ShardRetries is how many extra attempts a failed shard gets before
+	// falling back to the local pool (negative = DefaultShardRetries).
+	ShardRetries int
+	// Store answers selections content-addressed before the session layer;
+	// nil gets a private in-memory store observed by Registry.
+	Store *pipeline.ResultStore
+	// MaxBatch caps the option sets per /select/batch request; zero means
+	// DefaultMaxBatch.
+	MaxBatch int
 }
 
 // Defaults for Config zero values.
 const (
 	DefaultMaxInFlight  = 4
 	DefaultMaxBodyBytes = 1 << 20
+	DefaultMaxBatch     = 64
+	defaultStoreCap     = 512
 )
 
 // Handler serves the selection API. Create one with NewHandler.
 type Handler struct {
-	cache    *pipeline.Cache
-	reg      *obs.Registry
-	sem      chan struct{}
-	maxBody  int64
-	timeout  time.Duration
-	mux      *http.ServeMux
-	inflight *obs.Gauge
+	cache        *pipeline.Cache
+	reg          *obs.Registry
+	sem          chan struct{}
+	maxBody      int64
+	timeout      time.Duration
+	mux          *http.ServeMux
+	inflight     *obs.Gauge
+	store        *pipeline.ResultStore
+	workers      []string
+	shardTimeout time.Duration
+	shardRetries int
+	maxBatch     int
+	// testRunner, when set, overrides runnerFor's choice — the seam the
+	// fault-injection and determinism tests use to stand in for a fleet.
+	testRunner core.ShardRunner
 }
 
 // NewHandler builds the http.Handler for the selection service.
@@ -145,19 +236,37 @@ func NewHandler(cfg Config) *Handler {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	if cfg.Cache == nil {
 		cfg.Cache = pipeline.NewCacheObs(cfg.Registry, 0)
 	}
-	h := &Handler{
-		cache:    cfg.Cache,
-		reg:      cfg.Registry,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		maxBody:  cfg.MaxBodyBytes,
-		timeout:  cfg.RequestTimeout,
-		mux:      http.NewServeMux(),
-		inflight: cfg.Registry.Gauge("serve.inflight"),
+	if cfg.Store == nil {
+		// In-memory only: the error path is the spill directory, which the
+		// default store does not use.
+		cfg.Store, _ = pipeline.NewResultStore(cfg.Registry, defaultStoreCap, "")
 	}
-	h.mux.HandleFunc("/select", h.handleSelect)
+	h := &Handler{
+		cache:        cfg.Cache,
+		reg:          cfg.Registry,
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+		maxBody:      cfg.MaxBodyBytes,
+		timeout:      cfg.RequestTimeout,
+		mux:          http.NewServeMux(),
+		inflight:     cfg.Registry.Gauge("serve.inflight"),
+		store:        cfg.Store,
+		workers:      cfg.Workers,
+		shardTimeout: cfg.ShardTimeout,
+		shardRetries: cfg.ShardRetries,
+		maxBatch:     cfg.MaxBatch,
+	}
+	if cfg.Worker {
+		h.mux.HandleFunc("/shard", h.handleShard)
+	} else {
+		h.mux.HandleFunc("/select", h.handleSelect)
+		h.mux.HandleFunc("/select/batch", h.handleBatch)
+	}
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	return h
@@ -194,6 +303,92 @@ func (h *Handler) fail(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// acquire claims one in-flight slot, failing the request with 429 when the
+// handler is saturated. Callers must invoke the release func (once) iff
+// ok.
+func (h *Handler) acquire(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case h.sem <- struct{}{}:
+		h.inflight.Max(int64(len(h.sem)))
+		return func() {
+			<-h.sem
+			h.inflight.Set(int64(len(h.sem)))
+		}, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		h.fail(w, http.StatusTooManyRequests, errors.New("serve: selection capacity saturated"))
+		return nil, false
+	}
+}
+
+// requestCtx applies the server-side timeout, when configured.
+func (h *Handler) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.timeout > 0 {
+		return context.WithTimeout(r.Context(), h.timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// runnerFor picks the ShardRunner a selection's Config carries: nil (the
+// in-process pool) unless the method shards and a worker fleet — or the
+// test seam — is configured. The runner is built per request so worker
+// quarantine never outlives the request that observed the failure.
+func (h *Handler) runnerFor(sc *spec.Scenario, method core.Method) core.ShardRunner {
+	if !method.Capabilities().Workers {
+		return nil
+	}
+	if h.testRunner != nil {
+		return h.testRunner
+	}
+	if len(h.workers) == 0 {
+		return nil
+	}
+	return NewHTTPRunner(h.workers, sc, nil, h.shardTimeout, h.shardRetries, h.reg)
+}
+
+// selectOne answers one resolved selection: store first, then the session
+// layer (memo + singleflight), storing what it computes. The Session is
+// resolved lazily through sesOnce, so a pure store hit never pays the
+// interleave build.
+func (h *Handler) selectOne(ctx context.Context, sc *spec.Scenario, cfg core.Config, sesOnce *sessionOnce) (*core.Result, error) {
+	if err := core.ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	key := pipeline.StoreKey(sesOnce.fp, cfg)
+	if res, ok := h.store.Get(key); ok {
+		return res, nil
+	}
+	ses, err := sesOnce.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Runner = h.runnerFor(sc, cfg.Method)
+	res, err := ses.SelectContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.store.Put(key, res)
+	return res, nil
+}
+
+// sessionOnce resolves a scenario's Session at most once per request, and
+// only when some selection actually misses the store. fp is the instance
+// set's content fingerprint, computed eagerly because every store key
+// needs it.
+type sessionOnce struct {
+	fp string
+
+	once sync.Once
+	ses  *pipeline.Session
+	err  error
+	get  func() (*pipeline.Session, error)
+}
+
+func (s *sessionOnce) resolve() (*pipeline.Session, error) {
+	s.once.Do(func() { s.ses, s.err = s.get() })
+	return s.ses, s.err
+}
+
 func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -204,18 +399,11 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 	// Backpressure first: reject before reading the body so an overloaded
 	// server sheds load at the cheapest possible point.
-	select {
-	case h.sem <- struct{}{}:
-		defer func() {
-			<-h.sem
-			h.inflight.Set(int64(len(h.sem)))
-		}()
-		h.inflight.Max(int64(len(h.sem)))
-	default:
-		w.Header().Set("Retry-After", "1")
-		h.fail(w, http.StatusTooManyRequests, errors.New("serve: selection capacity saturated"))
+	release, ok := h.acquire(w)
+	if !ok {
 		return
 	}
+	defer release()
 
 	req, err := decodeRequest(w, r, h.maxBody)
 	if err != nil {
@@ -227,18 +415,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		h.fail(w, status, err)
 		return
 	}
-
-	cfg := core.Config{
-		BufferWidth:    req.BufferWidth,
-		DisablePacking: req.NoPack,
-		MaxCandidates:  req.MaxCandidates,
-		Workers:        req.Workers,
-		KeepCandidates: req.KeepCandidates,
-	}
-	if req.Width > 0 {
-		cfg.BufferWidth = req.Width
-	}
-	cfg.Method, err = core.ParseMethod(req.Method)
+	cfg, err := req.Options.config(req.BufferWidth)
 	if err != nil {
 		h.fail(w, http.StatusBadRequest, err)
 		return
@@ -249,47 +426,228 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := r.Context()
-	if h.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, h.timeout)
-		defer cancel()
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+
+	sesOnce := &sessionOnce{
+		fp:  pipeline.FingerprintOf(insts, h.reg),
+		get: func() (*pipeline.Session, error) { return h.cache.Session(insts) },
 	}
+	start := time.Now()
+	res, err := h.selectOne(ctx, &req.Scenario, cfg, sesOnce)
+	h.reg.Add("serve.select_ns", time.Since(start).Nanoseconds())
+	if err != nil {
+		h.failSelect(w, err)
+		return
+	}
+
+	h.reg.Counter("serve.ok").Inc()
+	writeJSON(w, http.StatusOK, buildResponse(req.Name, cfg, res))
+}
+
+// failSelect maps a selection error to its status: 504 for the server-side
+// deadline, silent accounting for a vanished client, 422 otherwise.
+func (h *Handler) failSelect(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		h.fail(w, http.StatusGatewayTimeout, errors.New("serve: selection timed out"))
+	case errors.Is(err, context.Canceled):
+		// The client hung up; there is nobody to answer, but the abort
+		// must still be visible in the metrics.
+		h.reg.Counter("serve.client_gone").Inc()
+	default:
+		h.fail(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// selectErrString is failSelect for batch items, where errors are carried
+// per item instead of failing the response.
+func selectErrString(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "serve: selection timed out"
+	}
+	return err.Error()
+}
+
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed, POST a scenario with a batch", r.Method))
+		return
+	}
+	h.reg.Counter("serve.batch.requests").Inc()
+
+	release, ok := h.acquire(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var breq BatchRequest
+	if err := decodeInto(w, r, h.maxBody, &breq); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		h.fail(w, status, err)
+		return
+	}
+	if err := breq.Scenario.Validate(); err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(breq.Batch) == 0 {
+		h.fail(w, http.StatusBadRequest, errors.New("serve: empty batch"))
+		return
+	}
+	if len(breq.Batch) > h.maxBatch {
+		h.fail(w, http.StatusBadRequest, fmt.Errorf("serve: batch of %d exceeds the %d-item cap", len(breq.Batch), h.maxBatch))
+		return
+	}
+	insts, err := breq.Scenario.Build()
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+
+	sesOnce := &sessionOnce{
+		fp:  pipeline.FingerprintOf(insts, h.reg),
+		get: func() (*pipeline.Session, error) { return h.cache.Session(insts) },
+	}
+	// Items run concurrently on purpose: duplicate configs then share one
+	// in-flight computation through the pipeline's singleflight, so a batch
+	// with M distinct configs costs exactly M scans no matter how many
+	// duplicates ride along (core.select.runs pins this).
+	items := make([]BatchItem, len(breq.Batch))
+	var wg sync.WaitGroup
+	for i, o := range breq.Batch {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg, err := o.config(breq.BufferWidth)
+			if err == nil {
+				var res *core.Result
+				if res, err = h.selectOne(ctx, &breq.Scenario, cfg, sesOnce); err == nil {
+					items[i] = BatchItem{Result: buildResponse(breq.Name, cfg, res)}
+					return
+				}
+			}
+			items[i] = BatchItem{Error: selectErrString(err)}
+			h.reg.Counter("serve.batch.item_errors").Inc()
+		}()
+	}
+	wg.Wait()
+	h.reg.Add("serve.batch.items", int64(len(items)))
+	h.reg.Counter("serve.ok").Inc()
+	writeJSON(w, http.StatusOK, &BatchResponse{Scenario: breq.Name, Results: items})
+}
+
+// handleShard is the worker side of the distributed scan: execute one
+// validated ShardTask against the scenario's evaluator and return the
+// shard incumbent. Invalid tasks and scenarios are 400/422; the
+// coordinator treats those as terminal, so a misconfigured fleet fails
+// loudly instead of retrying forever.
+func (h *Handler) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		h.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed, POST a shard task", r.Method))
+		return
+	}
+	h.reg.Counter("serve.shard.requests").Inc()
+
+	release, ok := h.acquire(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var sreq ShardRequest
+	if err := decodeInto(w, r, h.maxBody, &sreq); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		h.fail(w, status, err)
+		return
+	}
+	if err := sreq.Scenario.Validate(); err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	task, err := sreq.task()
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	insts, err := sreq.Scenario.Build()
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
 
 	ses, err := h.cache.Session(insts)
 	if err != nil {
 		h.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	start := time.Now()
-	res, err := ses.SelectContext(ctx, cfg)
-	h.reg.Add("serve.select_ns", time.Since(start).Nanoseconds())
+	res, err := ses.Evaluator().RunShardTask(ctx, task)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			h.fail(w, http.StatusGatewayTimeout, errors.New("serve: selection timed out"))
+			h.fail(w, http.StatusGatewayTimeout, errors.New("serve: shard timed out"))
 		case errors.Is(err, context.Canceled):
-			// The client hung up; there is nobody to answer, but the abort
-			// must still be visible in the metrics.
 			h.reg.Counter("serve.client_gone").Inc()
 		default:
 			h.fail(w, http.StatusUnprocessableEntity, err)
 		}
 		return
 	}
+	h.reg.Counter("serve.shard.served").Inc()
+	writeJSON(w, http.StatusOK, shardResponseFor(res))
+}
 
-	h.reg.Counter("serve.ok").Inc()
-	writeJSON(w, http.StatusOK, buildResponse(req, cfg, res))
+// shardResponseFor renders a core.ShardResult in wire form.
+func shardResponseFor(res core.ShardResult) *ShardResponse {
+	out := &ShardResponse{
+		Found:    res.Found,
+		Mask:     res.Mask,
+		Width:    res.Width,
+		Gain:     res.Gain,
+		Coverage: res.Coverage,
+		Nodes:    res.Nodes,
+	}
+	for _, c := range res.Candidates {
+		out.Candidates = append(out.Candidates, Candidate{
+			Messages: c.Messages, Width: c.Width, Gain: c.Gain, Coverage: c.Coverage,
+		})
+	}
+	return out
+}
+
+// decodeInto reads one capped, strictly-validated JSON body into v.
+func decodeInto(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %w", err)
+	}
+	return nil
 }
 
 // decodeRequest reads one capped, strictly-validated request body.
 func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*Request, error) {
-	body := http.MaxBytesReader(w, r.Body, maxBody)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
 	var req Request
-	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("serve: decoding request: %w", err)
+	if err := decodeInto(w, r, maxBody, &req); err != nil {
+		return nil, err
 	}
 	// Width can stand in for bufferWidth, so validate after the override.
 	if req.Width > 0 && req.BufferWidth < 1 {
@@ -301,9 +659,9 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (*Requ
 	return &req, nil
 }
 
-func buildResponse(req *Request, cfg core.Config, res *core.Result) *Response {
+func buildResponse(scenario string, cfg core.Config, res *core.Result) *Response {
 	resp := &Response{
-		Scenario:         req.Name,
+		Scenario:         scenario,
 		Method:           cfg.Method.String(),
 		BufferWidth:      cfg.BufferWidth,
 		Selected:         res.Selected,

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"tracescale/internal/core"
 	"tracescale/internal/flow"
 	"tracescale/internal/obs"
 	"tracescale/internal/pipeline"
@@ -98,12 +99,21 @@ func TestSelectToyScenario(t *testing.T) {
 		t.Errorf("serve.ok=%d serve.requests=%d, want 1/1", snap["serve.ok"], snap["serve.requests"])
 	}
 
-	// A repeated POST of the same scenario is a session-cache hit.
-	if rec := post(t, h, toyBody(t, nil)); rec.Code != http.StatusOK {
-		t.Fatalf("repeat status = %d", rec.Code)
+	// A repeated POST of the same scenario hits the content-addressed
+	// result store before the session layer is even consulted.
+	rec2 := post(t, h, toyBody(t, nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("repeat status = %d", rec2.Code)
 	}
-	if hits := reg.Snapshot()["pipeline.cache.hits"]; hits != 1 {
-		t.Errorf("pipeline.cache.hits = %d, want 1", hits)
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("store-answered repeat response differs from the computed one")
+	}
+	snap = reg.Snapshot()
+	if snap["pipeline.store.hits"] != 1 {
+		t.Errorf("pipeline.store.hits = %d, want 1", snap["pipeline.store.hits"])
+	}
+	if snap["core.select.runs"] != 1 {
+		t.Errorf("core.select.runs = %d, want 1 (the repeat must not rescan)", snap["core.select.runs"])
 	}
 }
 
@@ -243,18 +253,37 @@ func TestHundredConcurrentPostsSucceedOr429(t *testing.T) {
 	t.Logf("200s: %d, 429s: %d", ok, shed)
 }
 
+// blockingRunner parks every shard until its context is cancelled — the
+// deterministic stand-in for "the scan is still running when the deadline
+// fires". With it installed, cancellation is the scan's only exit, so the
+// timeout path is exercised in every interleaving (the old version raced a
+// real scan against a 1ms deadline and flaked on slow machines when the
+// scan won).
+type blockingRunner struct{}
+
+func (blockingRunner) Name() string { return "blocking" }
+
+func (blockingRunner) RunShard(ctx context.Context, e *core.Evaluator, t core.ShardTask) (core.ShardResult, error) {
+	<-ctx.Done()
+	return core.ShardResult{}, ctx.Err()
+}
+
 // A server-side timeout shorter than the scan maps to 504, and the abort
 // is visible in the core counters.
 func TestTimeoutReturns504(t *testing.T) {
 	reg := obs.NewRegistry()
-	h := NewHandler(Config{Registry: reg, RequestTimeout: time.Millisecond})
-	rec := post(t, h, slowBody(t, 20, nil))
+	h := NewHandler(Config{Registry: reg, RequestTimeout: 5 * time.Millisecond})
+	h.testRunner = blockingRunner{}
+	rec := post(t, h, toyBody(t, nil))
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 (body %s)", rec.Code, rec.Body)
 	}
-	// The flight had a single waiter, so its core scan was cancelled too;
-	// the abort lands in core.select.cancelled once the shards drain.
-	deadline := time.Now().Add(10 * time.Second)
+	// The flight had a single waiter, so the 504 means the waiter left and
+	// cancelled the flight; the parked shard then unblocks with the flight
+	// context's error and the abort lands in core.select.cancelled. The
+	// poll is bounded but guaranteed to terminate — cancellation is the
+	// blocked scan's only exit.
+	deadline := time.Now().Add(30 * time.Second)
 	for reg.Snapshot()["core.select.cancelled"] < 1 {
 		if time.Now().After(deadline) {
 			t.Fatalf("core.select.cancelled never rose: %v", reg.Snapshot())
