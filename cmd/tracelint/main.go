@@ -5,11 +5,21 @@
 //	tracelint -json ./... > lint.json
 //	tracelint -analyzers clockrand,detrange ./internal/core
 //	tracelint -C /path/to/module ./...
+//	tracelint -baseline lint_baseline.json ./...
+//	tracelint -write-baseline lint_baseline.json ./...
+//	tracelint -workers 4 ./...
 //
 // Diagnostics are printed one per line as file:line:col: [analyzer]
 // message (or as a JSON array with -json). The exit code is 0 when clean,
 // 1 on findings or errors, 2 on bad usage; stderr carries a one-line
 // per-analyzer summary when the gate trips, so CI logs stay readable.
+//
+// -baseline turns the run into a one-way ratchet against a committed
+// baseline: findings not in the baseline fail the run, and so do baseline
+// entries that no longer fire (paid-down debt must be banked by shrinking
+// the file). -write-baseline records the current findings as the new
+// baseline. -workers parallelizes the typecheck phase; diagnostics are
+// byte-identical at every worker count.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"tracescale/internal/analysis"
@@ -43,12 +54,19 @@ var errUsage = fmt.Errorf("usage")
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tracelint", flag.ContinueOnError)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array (stable schema: file, line, col, analyzer, message)")
-		dir     = fs.String("C", ".", "run in this directory (the module root to lint)")
-		names   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list    = fs.Bool("list", false, "list available analyzers and exit")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array (stable schema: file, line, col, analyzer, message)")
+		dir       = fs.String("C", ".", "run in this directory (the module root to lint)")
+		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+		baseline  = fs.String("baseline", "", "ratchet against this baseline file: fail on findings not in it and on stale entries")
+		writeBase = fs.String("write-baseline", "", "write the current findings to this baseline file and exit clean")
+		workers   = fs.Int("workers", 0, "typecheck workers (0 = GOMAXPROCS); diagnostics are identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	if *baseline != "" && *writeBase != "" {
+		fmt.Fprintln(os.Stderr, "tracelint: -baseline and -write-baseline are mutually exclusive")
 		return errUsage
 	}
 
@@ -71,21 +89,68 @@ func run(args []string, w io.Writer) error {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := analysis.Run(*dir, patterns, analyzers)
+	diags, err := analysis.RunParallel(*dir, patterns, analyzers, *workers)
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		if err := analysis.WriteJSON(w, diags); err != nil {
+	// Baseline keys are module-root-relative, so resolve the lint root once.
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		return err
+	}
+
+	if *writeBase != "" {
+		b := analysis.NewBaseline(diags, root)
+		if err := b.Write(*writeBase); err != nil {
 			return err
 		}
-	} else {
-		for _, d := range diags {
-			fmt.Fprintln(w, d)
+		fmt.Fprintf(w, "wrote %d baseline entries to %s\n", len(b.Entries), *writeBase)
+		return nil
+	}
+
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			return err
 		}
+		fresh, stale := analysis.DiffBaseline(b, diags, root)
+		if err := emit(w, fresh, *jsonOut); err != nil {
+			return err
+		}
+		if !*jsonOut { // keep -json stdout a pure diagnostics array
+			for _, e := range stale {
+				fmt.Fprintf(w, "stale baseline entry: %s [%s] %s (x%d)\n", e.File, e.Analyzer, e.Message, e.Count)
+			}
+		}
+		var parts []string
+		if len(fresh) > 0 {
+			parts = append(parts, fmt.Sprintf("%s not in baseline", analysis.Summary(fresh)))
+		}
+		if len(stale) > 0 {
+			parts = append(parts, fmt.Sprintf("%d stale baseline entries (debt paid down — regenerate with -write-baseline to bank it)", len(stale)))
+		}
+		if len(parts) > 0 {
+			return fmt.Errorf("%s", strings.Join(parts, "; "))
+		}
+		return nil
+	}
+
+	if err := emit(w, diags, *jsonOut); err != nil {
+		return err
 	}
 	if len(diags) > 0 {
 		return fmt.Errorf("%s", analysis.Summary(diags))
+	}
+	return nil
+}
+
+// emit renders diagnostics to w in the selected format.
+func emit(w io.Writer, diags []analysis.Diagnostic, jsonOut bool) error {
+	if jsonOut {
+		return analysis.WriteJSON(w, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
 	}
 	return nil
 }

@@ -139,6 +139,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	case <-ctx.Done():
 	}
 
+	// ctx is already done here — deriving the drain deadline from it would
+	// expire instantly and abort the graceful drain it exists to bound.
+	//lint:ignore ctxflow the drain must outlive the cancelled serve context; drainWait bounds it instead
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

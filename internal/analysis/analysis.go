@@ -26,6 +26,21 @@
 //     thread it to registry-accepting callees, never pass a literal nil —
 //     a nil here silently blackholes every metric downstream.
 //
+// Four interprocedural analyzers run over the merged fact sets of the whole
+// package graph (the two-phase facts engine — see facts.go, callgraph.go):
+//
+//   - detflow: nondeterminism taint must not reach Result/ShardResult
+//     construction or encoding/json marshalling in
+//     internal/{core,interleave,serve,pipeline} without an intervening
+//     sort/canonicalization — detrange generalized across call boundaries.
+//   - ctxflow: a context-taking function must thread its ctx — a literal
+//     context.Background()/TODO() handed to a ctx-accepting callee is a
+//     finding, as is an oversized loop that never consults the context.
+//   - trustbound: every json.NewDecoder reachable from an HTTP handler in
+//     internal/serve must DisallowUnknownFields and be validation-checked.
+//   - obsname: obs metric name literals must match pkg.subsystem.metric
+//     and be unique to one package and one instrument kind.
+//
 // # Suppressions
 //
 // A diagnostic is suppressed by a comment on the same line or the line
@@ -74,8 +89,14 @@ type Pass struct {
 
 // Reportf records a finding for the running analyzer at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf is Reportf for already-resolved positions — the form fact
+// sites carry.
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Fset.Position(pos),
+		Pos:      pos,
 		Analyzer: p.cur,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -94,7 +115,39 @@ type Analyzer struct {
 	// empty scope means every package.
 	Scope []string
 	// Run inspects one package, reporting findings through pass.Reportf.
+	// Local analyzers set Run or FactsRun; interprocedural analyzers set
+	// GlobalRun instead (exactly one of the three must be non-nil).
 	Run func(pass *Pass)
+	// FactsRun is a local analyzer driven by the package's phase-1 fact
+	// set instead of walking the AST itself.
+	FactsRun func(pass *Pass, pf *PkgFacts)
+	// GlobalRun inspects the merged fact Unit once per analysis run,
+	// reporting findings through gp.Report. Scope still applies: global
+	// analyzers must self-filter sites by package path via gp.InScope.
+	GlobalRun func(gp *GlobalPass)
+}
+
+// GlobalPass is the interprocedural analyzer's view: the merged fact Unit
+// for every analyzed package, plus a reporter for position-carrying facts.
+type GlobalPass struct {
+	Unit *Unit
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at a fact's resolved position.
+func (g *GlobalPass) Report(pos token.Position, format string, args ...any) {
+	*g.diags = append(*g.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: g.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the analyzer's scope covers the import path.
+func (g *GlobalPass) InScope(importPath string) bool {
+	return g.analyzer.inScope(importPath)
 }
 
 // inScope reports whether the analyzer applies to the import path.
@@ -112,9 +165,10 @@ func (a *Analyzer) inScope(importPath string) bool {
 	return false
 }
 
-// All returns the full tracelint analyzer suite.
+// All returns the full tracelint analyzer suite: the four local analyzers
+// plus the four interprocedural ones running over the merged facts.
 func All() []*Analyzer {
-	return []*Analyzer{NilSafe, DetRange, ClockRand, ObsDrop}
+	return []*Analyzer{NilSafe, DetRange, ClockRand, ObsDrop, DetFlow, CtxFlow, TrustBound, ObsName}
 }
 
 // ByName returns the subset of All with the given names, erroring on an
@@ -138,17 +192,50 @@ func ByName(names []string) ([]*Analyzer, error) {
 // Analyze runs the analyzers over one typechecked package and returns the
 // surviving (unsuppressed) findings, including any malformed-suppression
 // diagnostics. The result is sorted by position then analyzer name.
+// Interprocedural analyzers treat the single package as the whole graph —
+// the engine (AnalyzeGraph) is the multi-package entry point.
 func Analyze(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	return AnalyzeGraph([]*Pass{pass}, []*PkgFacts{CollectFacts(pass)}, analyzers)
+}
+
+// AnalyzeGraph is phase 2 of the facts engine: it runs local analyzers per
+// pass and global (interprocedural) analyzers once over the merged fact
+// sets, applies suppressions from every pass, and returns the surviving
+// findings sorted by position then analyzer name. passes and facts are
+// parallel slices (facts[i] collected from passes[i]).
+func AnalyzeGraph(passes []*Pass, facts []*PkgFacts, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	pass.diags = &diags
+	for i, pass := range passes {
+		pass.diags = &diags
+		for _, a := range analyzers {
+			if !a.inScope(pass.ImportPath) {
+				continue
+			}
+			pass.cur = a.Name
+			if a.Run != nil {
+				a.Run(pass)
+			}
+			if a.FactsRun != nil {
+				a.FactsRun(pass, facts[i])
+			}
+		}
+	}
+	unit := MergeFacts(facts)
 	for _, a := range analyzers {
-		if !a.inScope(pass.ImportPath) {
+		if a.GlobalRun == nil {
 			continue
 		}
-		pass.cur = a.Name
-		a.Run(pass)
+		a.GlobalRun(&GlobalPass{Unit: unit, analyzer: a, diags: &diags})
 	}
-	sup, malformed := suppressions(pass)
+	sup := make(suppressionSet)
+	var malformed []Diagnostic
+	for _, pass := range passes {
+		s, m := suppressions(pass)
+		for k := range s {
+			sup[k] = true
+		}
+		malformed = append(malformed, m...)
+	}
 	kept := diags[:0]
 	for _, d := range diags {
 		if sup.covers(d) {

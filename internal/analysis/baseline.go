@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The lint ratchet: a committed baseline of known findings that may only
+// shrink, the same one-way gate the coverage and bench ratchets enforce.
+// `tracelint -baseline lint_baseline.json` fails on any finding absent from
+// the baseline (no new debt) AND on any baseline entry that no longer
+// fires (pay-down must be banked by shrinking the file, or the entry would
+// silently mask a future regression at the same site).
+//
+// Entries are keyed (module-relative slash path, analyzer, message) with an
+// occurrence count, not line numbers — unrelated edits move lines, and a
+// ratchet that churns on every edit trains people to regenerate it blindly.
+
+// BaselineEntry is one known finding class: count occurrences of an
+// (analyzer, message) pair in a file.
+type BaselineEntry struct {
+	File     string `json:"file"` // module-relative, slash-separated
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed set of known findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error — the
+// ratchet gates CI, so a silently absent baseline must fail loudly, and an
+// empty repo state is an explicit `{"entries": []}`.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.File == "" || e.Analyzer == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("analysis: baseline %s entry %d is malformed (need file, analyzer, message, count ≥ 1)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from current findings, with files
+// root-relative. Entries are sorted (file, analyzer, message) so the JSON
+// is diff-stable.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[diagKey(d, root)]++
+	}
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write renders the baseline as indented JSON (always with an entries
+// array, never null) to path.
+func (b *Baseline) Write(path string) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diagKey normalizes a diagnostic to its baseline key: the file path made
+// root-relative and slash-separated.
+func diagKey(d Diagnostic, root string) baselineKey {
+	return baselineKey{file: relSlash(root, d.Pos.Filename), analyzer: d.Analyzer, message: d.Message}
+}
+
+// relSlash renders file relative to root with forward slashes, falling
+// back to the path as given when it is not under root.
+func relSlash(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// DiffBaseline splits current findings against the baseline: fresh is
+// every finding beyond its entry's count (in sorted diagnostic order —
+// the first Count occurrences of a key are the baselined ones), and stale
+// is every entry (or remainder of one) that no longer fires. The gate
+// passes only when both are empty.
+func DiffBaseline(b *Baseline, diags []Diagnostic, root string) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int)
+	for _, e := range b.Entries {
+		budget[baselineKey{file: e.File, analyzer: e.Analyzer, message: e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := diagKey(d, root)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{file: e.File, analyzer: e.Analyzer, message: e.Message}
+		if left := budget[k]; left > 0 {
+			stale = append(stale, BaselineEntry{File: e.File, Analyzer: e.Analyzer, Message: e.Message, Count: left})
+			budget[k] = 0
+		}
+	}
+	return fresh, stale
+}

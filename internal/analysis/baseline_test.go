@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diagAt(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineMatrix is the ratchet truth table: a baselined finding
+// passes, a finding absent from the baseline fails, a baseline entry that
+// no longer fires fails, and counts arbitrate when the same key occurs
+// more than once.
+func TestBaselineMatrix(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	entry := func(file, analyzer, msg string, n int) BaselineEntry {
+		return BaselineEntry{File: file, Analyzer: analyzer, Message: msg, Count: n}
+	}
+	d := diagAt(filepath.Join(root, "a", "f.go"), 10, "ctxflow", "detached")
+	cases := []struct {
+		name      string
+		base      []BaselineEntry
+		diags     []Diagnostic
+		wantFresh int
+		wantStale int
+	}{
+		{name: "clean tree, empty baseline", base: nil, diags: nil},
+		{name: "baselined finding passes",
+			base:  []BaselineEntry{entry("a/f.go", "ctxflow", "detached", 1)},
+			diags: []Diagnostic{d}},
+		{name: "new finding fails",
+			base:      nil,
+			diags:     []Diagnostic{d},
+			wantFresh: 1},
+		{name: "stale entry fails",
+			base:      []BaselineEntry{entry("a/f.go", "ctxflow", "detached", 1)},
+			diags:     nil,
+			wantStale: 1},
+		{name: "count exceeded: the excess is fresh",
+			base:      []BaselineEntry{entry("a/f.go", "ctxflow", "detached", 1)},
+			diags:     []Diagnostic{d, diagAt(filepath.Join(root, "a", "f.go"), 40, "ctxflow", "detached")},
+			wantFresh: 1},
+		{name: "count undershot: the remainder is stale",
+			base:      []BaselineEntry{entry("a/f.go", "ctxflow", "detached", 2)},
+			diags:     []Diagnostic{d},
+			wantStale: 1},
+		{name: "message mismatch is both fresh and stale",
+			base:      []BaselineEntry{entry("a/f.go", "ctxflow", "other message", 1)},
+			diags:     []Diagnostic{d},
+			wantFresh: 1,
+			wantStale: 1},
+		{name: "analyzer mismatch is both fresh and stale",
+			base:      []BaselineEntry{entry("a/f.go", "detflow", "detached", 1)},
+			diags:     []Diagnostic{d},
+			wantFresh: 1,
+			wantStale: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, stale := DiffBaseline(&Baseline{Entries: tc.base}, tc.diags, root)
+			if len(fresh) != tc.wantFresh || len(stale) != tc.wantStale {
+				t.Errorf("fresh=%d stale=%d, want %d/%d (fresh %v, stale %v)",
+					len(fresh), len(stale), tc.wantFresh, tc.wantStale, fresh, stale)
+			}
+		})
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from diagnostics and reads it
+// back: paths come out module-relative with forward slashes, entries are
+// sorted and counted, and the round-tripped baseline accepts exactly the
+// diagnostics that produced it.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		diagAt(filepath.Join(root, "b", "g.go"), 3, "obsname", "bad name"),
+		diagAt(filepath.Join(root, "a", "f.go"), 10, "ctxflow", "detached"),
+		diagAt(filepath.Join(root, "a", "f.go"), 20, "ctxflow", "detached"),
+	}
+	b := NewBaseline(diags, root)
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (counted key + distinct key): %v", len(b.Entries), b.Entries)
+	}
+	if e := b.Entries[0]; e.File != "a/f.go" || e.Analyzer != "ctxflow" || e.Count != 2 {
+		t.Errorf("first entry = %+v, want a/f.go ctxflow x2", e)
+	}
+	if e := b.Entries[1]; e.File != "b/g.go" || e.Count != 1 {
+		t.Errorf("second entry = %+v, want b/g.go x1", e)
+	}
+
+	path := filepath.Join(root, "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := DiffBaseline(loaded, diags, root)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round-tripped baseline rejects its own diagnostics: fresh %v stale %v", fresh, stale)
+	}
+}
+
+// TestBaselineWriteEmpty pins the committed-empty-baseline form: an
+// explicit entries array, never null.
+func TestBaselineWriteEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := (&Baseline{}).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"entries": []`) {
+		t.Errorf("empty baseline = %q, want an explicit empty entries array", data)
+	}
+	if _, err := LoadBaseline(path); err != nil {
+		t.Errorf("empty baseline does not load: %v", err)
+	}
+}
+
+// TestBaselineLoadErrors pins the loud-failure contract: missing files and
+// malformed entries are errors, not silently empty baselines.
+func TestBaselineLoadErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file must be an error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, `{"entries": [{"file": "a.go", "analyzer": "", "message": "m", "count": 1}]}`)
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("err = %v, want a malformed-entry error", err)
+	}
+	zero := filepath.Join(dir, "zero.json")
+	writeFile(t, zero, `{"entries": [{"file": "a.go", "analyzer": "x", "message": "m", "count": 0}]}`)
+	if _, err := LoadBaseline(zero); err == nil {
+		t.Error("a zero-count entry must be rejected")
+	}
+}
+
+// TestRelSlash pins the path normalization baseline keys use.
+func TestRelSlash(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	cases := map[string]string{
+		filepath.Join(root, "a", "f.go"):                                "a/f.go",
+		filepath.Join("other", "f.go"):                                  "other/f.go",      // relative stays as given
+		string(filepath.Separator) + filepath.Join("elsewhere", "f.go"): "/elsewhere/f.go", // outside root: as given
+	}
+	for file, want := range cases {
+		if got := relSlash(root, file); got != want {
+			t.Errorf("relSlash(%q, %q) = %q, want %q", root, file, got, want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import "sort"
+
+// This file is the merge half of the facts engine: per-package fact sets
+// become one Unit — a whole-program (well, whole-`go list` graph) view the
+// interprocedural analyzers run over. Merging is pure data plumbing: no
+// types.Package pointers cross package boundaries, only canonical string
+// FuncIDs, which is why packages typechecked by independent importers still
+// produce one coherent call graph.
+//
+// Soundness limits (documented in DESIGN.md §12): dynamic dispatch is
+// resolved only as declared-interface fan-out — a call through a named
+// interface becomes edges to every declared implementation visible at
+// collection time. Calls through plain function values, reflection, and
+// method expressions are not tracked. The graph otherwise over-approximates:
+// a function value referenced (not called) still contributes an edge, so
+// handlers registered with HandleFunc stay reachable.
+
+// Unit is the merged analysis unit: every analyzed package's facts plus the
+// resolved call-graph adjacency.
+type Unit struct {
+	// Funcs maps canonical FuncID to facts, across all merged packages.
+	Funcs map[string]*FuncFacts
+	// Pkgs maps import path to the package's fact set.
+	Pkgs map[string]*PkgFacts
+	// callees is the resolved adjacency: interface-method callees are
+	// fanned out to their declared implementations, deduped, sorted.
+	callees map[string][]string
+}
+
+// MergeFacts builds the Unit from per-package fact sets.
+func MergeFacts(pkgs []*PkgFacts) *Unit {
+	u := &Unit{
+		Funcs:   make(map[string]*FuncFacts),
+		Pkgs:    make(map[string]*PkgFacts),
+		callees: make(map[string][]string),
+	}
+	impls := make(map[string][]string)
+	for _, pf := range pkgs {
+		u.Pkgs[pf.Path] = pf
+		for _, ff := range pf.Funcs {
+			u.Funcs[ff.ID] = ff
+		}
+		for iface, concrete := range pf.Impls {
+			impls[iface] = append(impls[iface], concrete...)
+		}
+	}
+	for iface := range impls {
+		impls[iface] = dedupeSorted(impls[iface])
+	}
+	for id, ff := range u.Funcs {
+		seen := make(map[string]bool)
+		var out []string
+		add := func(callee string) {
+			if callee != id && !seen[callee] {
+				seen[callee] = true
+				out = append(out, callee)
+			}
+		}
+		for _, cs := range ff.Calls {
+			if fanned, ok := impls[cs.Callee]; ok {
+				for _, impl := range fanned {
+					add(impl)
+				}
+				continue
+			}
+			add(cs.Callee)
+		}
+		sort.Strings(out)
+		u.callees[id] = out
+	}
+	return u
+}
+
+func dedupeSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Callees returns the resolved outgoing edges of a function (sorted,
+// interface calls fanned out to declared implementations).
+func (u *Unit) Callees(id string) []string { return u.callees[id] }
+
+// FuncIDs returns every merged function ID in sorted order — the
+// deterministic iteration order global analyzers must use.
+func (u *Unit) FuncIDs() []string {
+	ids := make([]string, 0, len(u.Funcs))
+	for id := range u.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// PkgPaths returns every merged import path in sorted order.
+func (u *Unit) PkgPaths() []string {
+	paths := make([]string, 0, len(u.Pkgs))
+	for p := range u.Pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// hasLiveSource reports an unsuppressed nondeterminism source in the frame.
+func hasLiveSource(ff *FuncFacts) bool {
+	for _, s := range ff.Sources {
+		if !s.Ignored {
+			return true
+		}
+	}
+	return false
+}
+
+// TaintLeaks computes, by fixed point over the call graph, the set of
+// functions that leak nondeterministic ordering to their callers: the frame
+// has a live source (or a callee that leaks) and does not canonicalize
+// (call into sort/slices). Canonicalizing frames are taint barriers — the
+// collect-then-sort idiom absolves everything below them. The returned via
+// map records, for each leaking function tainted only transitively, one
+// witness callee on a path to a source (for diagnostics).
+func (u *Unit) TaintLeaks() (leaks map[string]bool, via map[string]string) {
+	leaks = make(map[string]bool)
+	via = make(map[string]string)
+	ids := u.FuncIDs()
+	for _, id := range ids {
+		ff := u.Funcs[id]
+		if !ff.Canonicalizes && hasLiveSource(ff) {
+			leaks[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			ff := u.Funcs[id]
+			if leaks[id] || ff.Canonicalizes {
+				continue
+			}
+			for _, callee := range u.callees[id] {
+				if leaks[callee] {
+					leaks[id] = true
+					via[id] = callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return leaks, via
+}
+
+// TaintWitness renders one source-bound call path for a leaking function:
+// the chain of short names from id down to a frame with its own live
+// source, plus that source site. Paths exist by construction of via.
+func (u *Unit) TaintWitness(id string, via map[string]string) (path []string, src Site) {
+	seen := make(map[string]bool)
+	for !seen[id] {
+		seen[id] = true
+		ff := u.Funcs[id]
+		path = append(path, ff.Short)
+		if hasLiveSource(ff) {
+			for _, s := range ff.Sources {
+				if !s.Ignored {
+					return path, s
+				}
+			}
+		}
+		next, ok := via[id]
+		if !ok {
+			break
+		}
+		id = next
+	}
+	return path, Site{}
+}
+
+// ReachableFrom returns the set of function IDs reachable from the given
+// roots (inclusive) over the resolved adjacency.
+func (u *Unit) ReachableFrom(roots []string) map[string]bool {
+	reached := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if reached[id] {
+			continue
+		}
+		reached[id] = true
+		for _, callee := range u.callees[id] {
+			if !reached[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reached
+}

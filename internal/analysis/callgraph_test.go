@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// graphSrc is a hand-drawn ten-function package exercising every call-graph
+// shape the collector resolves: direct calls, transitive chains, the
+// sort-barrier, and declared-interface fan-out.
+const graphSrc = `package graph
+
+import (
+	"sort"
+	"time"
+)
+
+type I interface{ M() int }
+
+type T1 struct{}
+
+func (T1) M() int { return 1 }
+
+type T2 struct{}
+
+// T2.M reads the wall clock: a nondeterminism source behind the interface.
+func (T2) M() int { return int(time.Now().Unix()) }
+
+// C reads the clock directly.
+func C() int { return int(time.Now().UnixNano()) }
+
+// D is pure.
+func D() int { return 4 }
+
+// B calls only the pure D.
+func B() int { return D() }
+
+// A calls B (clean chain) and C (tainted chain).
+func A() int { return B() + C() }
+
+// E appends in map-iteration order without a later sort.
+func E(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// F consumes E but sorts: a canonicalizing barrier.
+func F(m map[string]int) []string {
+	keys := E(m)
+	sort.Strings(keys)
+	return keys
+}
+
+// G sits above the barrier.
+func G(m map[string]int) int { return len(F(m)) }
+
+// H dispatches through the interface: fan-out to both implementations.
+func H(v I) int { return v.M() }
+`
+
+func checkGraphUnit(t *testing.T) *Unit {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "graph.go"), graphSrc)
+	pass, err := NewChecker().CheckDir(dir, "x/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MergeFacts([]*PkgFacts{CollectFacts(pass)})
+}
+
+// TestCallGraphEdges pins the resolved adjacency, including the
+// declared-interface fan-out of H's dynamic call.
+func TestCallGraphEdges(t *testing.T) {
+	u := checkGraphUnit(t)
+	wantEdges := map[string][]string{
+		"x/graph.A": {"x/graph.B", "x/graph.C"},
+		"x/graph.B": {"x/graph.D"},
+		"x/graph.D": {},
+		"x/graph.F": {"sort.Strings", "x/graph.E"},
+		"x/graph.G": {"x/graph.F"},
+		"x/graph.H": {"x/graph.(T1).M", "x/graph.(T2).M"},
+	}
+	for id, want := range wantEdges {
+		got := u.Callees(id)
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("Callees(%s) = %v, want %v", id, got, want)
+		}
+	}
+	if _, ok := u.Funcs["x/graph.(T2).M"]; !ok {
+		t.Fatalf("merged unit is missing the T2.M facts; have %v", u.FuncIDs())
+	}
+}
+
+// TestCallGraphTaintClosure pins the transitive-source closure: taint flows
+// A<-C and H<-T2.M, and the canonicalizing F absolves E's source for G.
+func TestCallGraphTaintClosure(t *testing.T) {
+	u := checkGraphUnit(t)
+	leaks, via := u.TaintLeaks()
+	want := map[string]bool{
+		"x/graph.A":      true,  // transitively via C
+		"x/graph.B":      false, // only the pure D below
+		"x/graph.C":      true,  // own clock read
+		"x/graph.D":      false,
+		"x/graph.E":      true,  // own map-order append
+		"x/graph.F":      false, // sorts: the barrier
+		"x/graph.G":      false, // everything below the barrier is absolved
+		"x/graph.H":      true,  // via the interface fan-out to T2.M
+		"x/graph.(T1).M": false,
+		"x/graph.(T2).M": true, // own clock read
+	}
+	for id, w := range want {
+		if leaks[id] != w {
+			t.Errorf("leaks[%s] = %v, want %v", id, leaks[id], w)
+		}
+	}
+	path, src := u.TaintWitness("x/graph.A", via)
+	if strings.Join(path, " -> ") != "A -> C" {
+		t.Errorf("witness path for A = %v, want A -> C", path)
+	}
+	if src.Kind != SrcClock {
+		t.Errorf("witness source kind for A = %q, want %q", src.Kind, SrcClock)
+	}
+	if path, _ := u.TaintWitness("x/graph.H", via); strings.Join(path, " -> ") != "H -> (T2).M" {
+		t.Errorf("witness path for H = %v, want H -> (T2).M", path)
+	}
+}
+
+// TestCallGraphReachability pins ReachableFrom over the same graph: roots
+// are inclusive and the walk follows the fanned-out edges.
+func TestCallGraphReachability(t *testing.T) {
+	u := checkGraphUnit(t)
+	reached := u.ReachableFrom([]string{"x/graph.A"})
+	for _, id := range []string{"x/graph.A", "x/graph.B", "x/graph.C", "x/graph.D"} {
+		if !reached[id] {
+			t.Errorf("%s not reached from A", id)
+		}
+	}
+	for _, id := range []string{"x/graph.E", "x/graph.H", "x/graph.(T2).M"} {
+		if reached[id] {
+			t.Errorf("%s wrongly reached from A", id)
+		}
+	}
+	if r := u.ReachableFrom([]string{"x/graph.H"}); !r["x/graph.(T1).M"] || !r["x/graph.(T2).M"] {
+		t.Error("interface fan-out edges missing from H's reachability")
+	}
+}
+
+// TestObsNameCrossPackage merges two fact sets that register the same
+// metric literal and expects the cross-package duplicate finding at every
+// site — the shadowing case a single-package analysis cannot see.
+func TestObsNameCrossPackage(t *testing.T) {
+	mk := func(pkg string) string {
+		return `package ` + pkg + `
+
+import "tracescale/internal/obs"
+
+func Record(reg *obs.Registry) {
+	reg.Counter("shared.dup.total").Inc()
+}
+`
+	}
+	var passes []*Pass
+	var facts []*PkgFacts
+	for _, name := range []string{"alpha", "beta"} {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, name+".go"), mk(name))
+		pass, err := NewChecker().CheckDir(dir, "x/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		passes = append(passes, pass)
+		facts = append(facts, CollectFacts(pass))
+	}
+	diags := AnalyzeGraph(passes, facts, []*Analyzer{ObsName})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one per site): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, `"shared.dup.total" is registered from 2 packages (x/alpha, x/beta)`) {
+			t.Errorf("unexpected message: %s", d)
+		}
+	}
+}

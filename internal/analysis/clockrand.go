@@ -1,9 +1,6 @@
 package analysis
 
-import (
-	"go/types"
-	"strings"
-)
+import "strings"
 
 // ClockRand guards run reproducibility: the simulator, the selection
 // pipeline, and the information-gain computation must be pure functions of
@@ -20,10 +17,10 @@ import (
 //     generators (rand.New, rand.NewSource, rand.NewZipf) is allowed, as
 //     are methods on an injected *rand.Rand.
 var ClockRand = &Analyzer{
-	Name:  "clockrand",
-	Doc:   "no wall clock or global math/rand in the deterministic packages; inject seeds and clocks",
-	Scope: []string{"core", "interleave", "flow", "soc", "info", "campaign"},
-	Run:   runClockRand,
+	Name:     "clockrand",
+	Doc:      "no wall clock or global math/rand in the deterministic packages; inject seeds and clocks",
+	Scope:    []string{"core", "interleave", "flow", "soc", "info", "campaign"},
+	FactsRun: runClockRand,
 }
 
 // randConstructors are the math/rand package-level functions that build
@@ -43,25 +40,25 @@ var clockFuncs = map[string]bool{
 	"Until": true,
 }
 
-func runClockRand(pass *Pass) {
-	for ident, obj := range pass.Info.Uses {
-		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
-			continue
-		}
-		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Recv() != nil {
-			continue // methods (e.g. on an injected *rand.Rand) are fine
-		}
-		switch path := fn.Pkg().Path(); {
-		case path == "time" && clockFuncs[fn.Name()]:
-			pass.Reportf(ident.Pos(),
-				"time.%s reads the wall clock; runs must be reproducible — inject a clock, or annotate registry-gated metrics timing with //lint:ignore clockrand <reason>",
-				fn.Name())
-		case isMathRand(path) && !randConstructors[fn.Name()]:
-			pass.Reportf(ident.Pos(),
-				"%s.%s draws from the process-global source; inject a seeded *rand.Rand instead",
-				path, fn.Name())
+// runClockRand reports every clock/global-rand source site the collector
+// recorded, including suppressed ones — the engine's suppression filter is
+// the single place //lint:ignore comments take effect, so a site marked
+// Ignored for detflow's taint purposes still surfaces here unless a
+// clockrand suppression covers it.
+func runClockRand(pass *Pass, pf *PkgFacts) {
+	for _, ff := range pf.Funcs {
+		for _, s := range ff.Sources {
+			switch s.Kind {
+			case SrcClock:
+				pass.ReportPosf(s.Pos,
+					"time.%s reads the wall clock; runs must be reproducible — inject a clock, or annotate registry-gated metrics timing with //lint:ignore clockrand <reason>",
+					strings.TrimPrefix(s.Detail, "time."))
+			case SrcGlobalRand:
+				dot := strings.LastIndex(s.Detail, ".")
+				pass.ReportPosf(s.Pos,
+					"%s.%s draws from the process-global source; inject a seeded *rand.Rand instead",
+					s.Detail[:dot], s.Detail[dot+1:])
+			}
 		}
 	}
 }

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -23,75 +22,34 @@ import (
 // Accumulation hidden behind method calls (e.g. an accumulator object) is
 // beyond this analyzer's reach; keep such loops over sorted keys.
 var DetRange = &Analyzer{
-	Name:  "detrange",
-	Doc:   "map iteration order must not reach slices, returns, or float accumulation in the selection pipeline",
-	Scope: []string{"core", "interleave", "flow", "campaign"},
-	Run:   runDetRange,
+	Name:     "detrange",
+	Doc:      "map iteration order must not reach slices, returns, or float accumulation in the selection pipeline",
+	Scope:    []string{"core", "interleave", "flow", "campaign"},
+	FactsRun: runDetRange,
 }
 
-func runDetRange(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+// runDetRange reports the map-order source sites the collector recorded
+// (the AST walking lives in collectMapRange; this analyzer is the per-
+// package reporting of those facts, detflow is their interprocedural use).
+func runDetRange(pass *Pass, pf *PkgFacts) {
+	for _, ff := range pf.Funcs {
+		for _, s := range ff.Sources {
+			switch s.Kind {
+			case SrcMapFloat:
+				pass.ReportPosf(s.Pos,
+					"float accumulation in map-iteration order is not bit-reproducible; iterate sorted keys instead")
+			case SrcMapAppend:
+				pass.ReportPosf(s.Pos,
+					"append to %s in map-iteration order without a later sort; selection results must be order-independent (parallel ≡ serial invariant)",
+					s.Detail)
 			}
-			checkFuncRanges(pass, fd.Body)
 		}
 	}
-}
-
-// checkFuncRanges inspects every map-range inside one function body; the
-// body is also the horizon for the later-sort absolution scan.
-func checkFuncRanges(pass *Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		rng, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		if t := pass.Info.Types[rng.X].Type; t == nil || !isMap(t) {
-			return true
-		}
-		checkMapRange(pass, body, rng)
-		return true
-	})
 }
 
 func isMap(t types.Type) bool {
 	_, ok := t.Underlying().(*types.Map)
 	return ok
-}
-
-func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) == 0 {
-			return true
-		}
-		lhs := assign.Lhs[0]
-		switch assign.Tok {
-		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
-			if isFloat(pass.Info.Types[lhs].Type) && !declaredWithin(pass, lhs, rng.Body) {
-				pass.Reportf(assign.Pos(),
-					"float accumulation in map-iteration order is not bit-reproducible; iterate sorted keys instead")
-			}
-		case token.ASSIGN, token.DEFINE:
-			if len(assign.Rhs) != 1 || !isAppendCall(pass, assign.Rhs[0]) {
-				return true
-			}
-			obj := rootObject(pass, lhs)
-			if obj == nil || declPosWithin(obj, rng.Body) {
-				return true
-			}
-			if sortedAfter(pass, fnBody, rng, obj) {
-				return true
-			}
-			pass.Reportf(assign.Pos(),
-				"append to %s in map-iteration order without a later sort; selection results must be order-independent (parallel ≡ serial invariant)",
-				obj.Name())
-		}
-		return true
-	})
 }
 
 func isFloat(t types.Type) bool {

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one entry of `go list -json` output — just the fields the
@@ -75,10 +76,48 @@ type Checker struct {
 	imp  types.Importer
 }
 
+// sharedImport is the process-wide import cache every NewChecker shares:
+// one file set and one source importer for the life of the process. The
+// source importer typechecks each dependency from source the first time it
+// is asked and memoizes the result, so hoisting one instance across the
+// run (and across test cases) pays that cost once instead of once per
+// Checker — BenchmarkImporter measures the difference. The importer is not
+// safe for concurrent use, so Import calls are serialized by mu; the
+// completed *types.Package values it hands back are immutable, so
+// concurrent Checkers read them freely (and token.FileSet locks itself).
+var sharedImport struct {
+	once sync.Once
+	mu   sync.Mutex
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// lockedImporter funnels Import calls into the shared source importer
+// under its mutex, making the shared cache safe for parallel Checkers.
+type lockedImporter struct{}
+
+func (lockedImporter) Import(path string) (*types.Package, error) {
+	sharedImport.mu.Lock()
+	defer sharedImport.mu.Unlock()
+	return sharedImport.imp.Import(path)
+}
+
 // NewChecker returns a Checker whose imports resolve through the stdlib
 // source importer (module-aware via the go command; no binary export data
-// and no x/tools).
+// and no x/tools). All Checkers share one process-wide file set and import
+// cache — see sharedImport.
 func NewChecker() *Checker {
+	sharedImport.once.Do(func() {
+		sharedImport.fset = token.NewFileSet()
+		sharedImport.imp = importer.ForCompiler(sharedImport.fset, "source", nil)
+	})
+	return &Checker{fset: sharedImport.fset, imp: lockedImporter{}}
+}
+
+// newIsolatedChecker builds a Checker with a private file set and importer
+// — no shared cache. It exists so the importer benchmark can measure what
+// sharing saves; production paths always use NewChecker.
+func newIsolatedChecker() *Checker {
 	fset := token.NewFileSet()
 	return &Checker{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
 }
@@ -150,28 +189,13 @@ func (c *Checker) check(importPath string, paths []string) (*Pass, error) {
 }
 
 // Run is the whole pipeline: list the patterns in dir, typecheck each
-// matched package, run the analyzers, and return every surviving finding
-// sorted by position. Packages without Go files (e.g. pure-test packages)
-// are skipped.
+// matched package, collect facts, run the analyzers over the merged
+// package graph (one AnalyzeGraph call, so interprocedural analyzers see
+// cross-package edges), and return every surviving finding sorted by
+// position. Packages without Go files (e.g. pure-test packages) are
+// skipped. Run is single-worker; RunParallel fans the typecheck phase out.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	pkgs, err := GoList(dir, patterns)
-	if err != nil {
-		return nil, err
-	}
-	c := NewChecker()
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		if pkg.Error == nil && len(pkg.GoFiles) == 0 {
-			continue
-		}
-		pass, err := c.Check(pkg)
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, Analyze(pass, analyzers)...)
-	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return RunParallel(dir, patterns, analyzers, 1)
 }
 
 // jsonDiagnostic is the machine-readable diagnostic schema of

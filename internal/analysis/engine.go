@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel driver of the facts engine: list the package
+// graph, typecheck and collect facts with a worker pool, then run phase 2
+// once over the merged facts. Output is byte-stable across worker counts:
+// passes land in go-list order regardless of which worker finished first,
+// phase 2 is single-threaded over sorted merged facts, and the final
+// diagnostics sort is global.
+
+// RunParallel is Run with a worker pool: workers packages are typechecked
+// and fact-collected concurrently (workers < 1 means GOMAXPROCS). The
+// diagnostics are identical to a single-worker run — the differential test
+// pins -workers 1 ≡ -workers 4 byte for byte.
+func RunParallel(dir string, patterns []string, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	pkgs, err := GoList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var active []*Package
+	for _, pkg := range pkgs {
+		if pkg.Error == nil && len(pkg.GoFiles) == 0 {
+			continue // pure-test or empty package: nothing to analyze
+		}
+		active = append(active, pkg)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	passes := make([]*Pass, len(active))
+	facts := make([]*PkgFacts, len(active))
+	errs := make([]error, len(active))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewChecker()
+			for i := range idx {
+				pass, err := c.Check(active[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				passes[i] = pass
+				facts[i] = CollectFacts(pass)
+			}
+		}()
+	}
+	for i := range active {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	// First error in go-list order, independent of worker scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return AnalyzeGraph(passes, facts, analyzers), nil
+}

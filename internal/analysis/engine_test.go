@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// multiPkgModule writes a throwaway module with findings spread across
+// four packages, so a parallel run has real work to order deterministically:
+// soc (clockrand), flow (detrange), campaign (clockrand + detrange), and
+// core (clockrand + a detflow-tainted marshal).
+func multiPkgModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("soc/soc.go", `package soc
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("flow/flow.go", `package flow
+
+func Total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`)
+	write("campaign/campaign.go", `package campaign
+
+import "math/rand"
+
+func Pick(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = rand.Intn(3)
+	return keys
+}
+`)
+	write("core/core.go", `package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Export(v []int) ([]byte, error) {
+	_ = stamp()
+	return json.Marshal(v)
+}
+`)
+	return dir
+}
+
+// TestRunParallelByteStable pins the acceptance criterion the -workers flag
+// promises: diagnostics are byte-identical at every worker count.
+func TestRunParallelByteStable(t *testing.T) {
+	dir := multiPkgModule(t)
+	render := func(diags []Diagnostic) string {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	serial, err := RunParallel(dir, []string{"./..."}, All(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 6 {
+		t.Fatalf("got %d findings, want 6:\n%s", len(serial), render(serial))
+	}
+	// The detflow finding must cross the Export -> stamp call boundary.
+	var sawDetflow bool
+	for _, d := range serial {
+		if d.Analyzer == "detflow" && strings.Contains(d.Message, "via Export -> stamp") {
+			sawDetflow = true
+		}
+	}
+	if !sawDetflow {
+		t.Errorf("missing the interprocedural detflow finding:\n%s", render(serial))
+	}
+	want := render(serial)
+	for _, workers := range []int{2, 4, 7} {
+		got, err := RunParallel(dir, []string{"./..."}, All(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(got) != want {
+			t.Errorf("workers=%d diverges from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				workers, want, workers, render(got))
+		}
+	}
+}
+
+// TestRunParallelErrorDeterministic pins error selection: whichever worker
+// hits the broken package first, the reported error is the same.
+func TestRunParallelErrorDeterministic(t *testing.T) {
+	dir := multiPkgModule(t)
+	if err := os.MkdirAll(filepath.Join(dir, "bad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n\nfunc Broken() { return undefinedSymbol }\n")
+	var first string
+	for _, workers := range []int{1, 4} {
+		_, err := RunParallel(dir, []string{"./..."}, All(), workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected a typecheck error", workers)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Errorf("workers=%d error %q differs from serial %q", workers, err.Error(), first)
+		}
+	}
+	if !strings.Contains(first, "bad") {
+		t.Errorf("error %q does not name the broken package", first)
+	}
+}

@@ -14,35 +14,34 @@ import (
 // like Counter.Inc (c.Add(1)) or Registry.WriteJSON (r.Snapshot()) — are
 // nil-safe by induction through the methods they call and need no guard.
 var NilSafe = &Analyzer{
-	Name:  "nilsafe",
-	Doc:   "exported pointer-receiver methods in internal/obs must nil-guard before touching receiver fields",
-	Scope: []string{"obs"},
-	Run:   runNilSafe,
+	Name:     "nilsafe",
+	Doc:      "exported pointer-receiver methods in internal/obs (and the nil-contract types elsewhere) must nil-guard before touching receiver fields",
+	Scope:    []string{"obs", "pipeline", "serve"},
+	FactsRun: runNilSafe,
 }
 
-func runNilSafe(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+// nilContractTypes are the types outside internal/obs that carry the same
+// documented nil-is-a-no-op contract: a nil *ResultStore stores nothing and
+// misses every Get; a nil *HTTPRunner degrades to the local runner. Inside
+// obs the contract covers every exported pointer-receiver method, so no
+// allowlist applies there.
+var nilContractTypes = map[string]bool{
+	"ResultStore": true,
+	"HTTPRunner":  true,
+}
+
+// runNilSafe reports the unguarded-method sites the collector recorded,
+// restricted outside obs to the explicit nil-contract types.
+func runNilSafe(pass *Pass, pf *PkgFacts) {
+	obsPkg := pathHasSegment(pf.Path, "obs")
+	for _, ff := range pf.Funcs {
+		for _, site := range ff.NilGuards {
+			if !obsPkg && !nilContractTypes[site.TypeName] {
 				continue
 			}
-			recv, typeName := pointerReceiver(pass, fd)
-			if typeName == "" {
-				continue // value receiver: cannot be nil
-			}
-			if recv == nil {
-				continue // unnamed receiver: the body cannot dereference it
-			}
-			if !receiverFieldAccess(pass, fd.Body, recv) {
-				continue
-			}
-			if beginsWithNilGuard(pass, fd.Body, recv) {
-				continue
-			}
-			pass.Reportf(fd.Name.Pos(),
+			pass.ReportPosf(site.Pos,
 				"exported method (*%s).%s touches receiver fields without a leading nil-receiver guard (obs nil-safe contract)",
-				typeName, fd.Name.Name)
+				site.TypeName, site.Method)
 		}
 	}
 }

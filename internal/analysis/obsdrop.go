@@ -14,27 +14,18 @@ import (
 // Deliberately-unobserved wrappers (interleave.New, pipeline.NewSession)
 // are fine: they take no registry, so there is nothing to drop.
 var ObsDrop = &Analyzer{
-	Name: "obsdrop",
-	Doc:  "functions receiving a *obs.Registry must thread it, not pass nil, to registry-accepting callees",
-	Run:  runObsDrop,
+	Name:     "obsdrop",
+	Doc:      "functions receiving a *obs.Registry must thread it, not pass nil, to registry-accepting callees",
+	FactsRun: runObsDrop,
 }
 
-func runObsDrop(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			sig := fn.Type().(*types.Signature)
-			if !hasRegistryParam(sig) {
-				continue
-			}
-			checkRegistryCalls(pass, fd.Name.Name, fd.Body)
+// runObsDrop reports the nil-registry-pass sites the collector recorded.
+func runObsDrop(pass *Pass, pf *PkgFacts) {
+	for _, ff := range pf.Funcs {
+		for _, site := range ff.NilRegs {
+			pass.ReportPosf(site.Pos,
+				"%s receives a *obs.Registry but passes nil to %s; thread the registry (a nil here blackholes downstream metrics)",
+				site.Func, site.Callee)
 		}
 	}
 }
@@ -67,31 +58,6 @@ func isRegistryPtr(t types.Type) bool {
 	}
 	path := obj.Pkg().Path()
 	return path == "obs" || strings.HasSuffix(path, "/obs")
-}
-
-func checkRegistryCalls(pass *Pass, funcName string, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sig, ok := calleeSignature(pass, call)
-		if !ok {
-			return true
-		}
-		for i, arg := range call.Args {
-			if !isNilIdent(pass, arg) {
-				continue
-			}
-			pt, ok := paramTypeAt(sig, i)
-			if ok && isRegistryPtr(pt) {
-				pass.Reportf(arg.Pos(),
-					"%s receives a *obs.Registry but passes nil to %s; thread the registry (a nil here blackholes downstream metrics)",
-					funcName, types.ExprString(call.Fun))
-			}
-		}
-		return true
-	})
 }
 
 // calleeSignature resolves the called function's signature; conversions and

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// ObsName guards the metric namespace the counter-exact tests depend on.
+// Every literal name registered through an obs.Registry (Counter, Gauge,
+// Histogram, Add) must
+//
+//   - match the dotted pkg.subsystem.metric grammar: at least two
+//     dot-separated segments, each [a-z][a-z0-9_]*;
+//   - name exactly one instrument kind: the same literal registered as
+//     both a counter and a gauge (or histogram) silently shadows — both
+//     sites appear to work, one snapshot key holds whichever registered
+//     last;
+//   - belong to exactly one package: the same literal registered from two
+//     packages is cross-layer shadowing, the failure mode that would
+//     corrupt a fault-matrix scorecard without any test noticing.
+//
+// Re-registering the same name with the same kind inside one package is
+// the normal idiom (a counter bumped from several sites) and is fine.
+// Dynamically built names (fmt.Sprintf, concatenation) are outside the
+// analyzer's reach and are not checked.
+var ObsName = &Analyzer{
+	Name:      "obsname",
+	Doc:       "obs metric name literals must match pkg.subsystem.metric and be unique to one package and instrument kind",
+	GlobalRun: runObsName,
+}
+
+// metricKind folds the registration methods into instrument kinds: Add is
+// a counter-increment, so Counter and Add name the same instrument.
+func metricKind(method string) string {
+	if method == "Counter" || method == "Add" {
+		return "counter"
+	}
+	return strings.ToLower(method)
+}
+
+func runObsName(gp *GlobalPass) {
+	u := gp.Unit
+	type site struct {
+		pkg string
+		MetricSite
+	}
+	byName := make(map[string][]site)
+	for _, path := range u.PkgPaths() {
+		pf := u.Pkgs[path]
+		for _, m := range pf.Metrics {
+			if !gp.InScope(path) {
+				continue
+			}
+			if !validMetricName(m.Name) {
+				gp.Report(m.Pos,
+					"metric name %q does not match the pkg.subsystem.metric grammar (two or more dot-separated [a-z][a-z0-9_]* segments)",
+					m.Name)
+			}
+			byName[m.Name] = append(byName[m.Name], site{pkg: path, MetricSite: m})
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sites := byName[n]
+		pkgs := map[string]bool{}
+		kinds := map[string]bool{}
+		for _, s := range sites {
+			pkgs[s.pkg] = true
+			kinds[metricKind(s.Method)] = true
+		}
+		if len(pkgs) > 1 {
+			for _, s := range sites {
+				gp.Report(s.Pos,
+					"metric name %q is registered from %d packages (%s); names must be unique to one package or snapshots shadow across layers",
+					n, len(pkgs), joinSorted(pkgs))
+			}
+		}
+		if len(kinds) > 1 {
+			for _, s := range sites {
+				gp.Report(s.Pos,
+					"metric name %q is registered as %d instrument kinds (%s); one name must map to one instrument or the snapshot key shadows",
+					n, len(kinds), joinSorted(kinds))
+			}
+		}
+	}
+}
+
+// validMetricName matches the dotted grammar: ≥2 segments, each
+// [a-z][a-z0-9_]*.
+func validMetricName(name string) bool {
+	segs := strings.Split(name, ".")
+	if len(segs) < 2 {
+		return false
+	}
+	for _, seg := range segs {
+		if seg == "" || seg[0] < 'a' || seg[0] > 'z' {
+			return false
+		}
+		for i := 1; i < len(seg); i++ {
+			c := seg[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func joinSorted(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

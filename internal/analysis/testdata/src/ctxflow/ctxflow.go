@@ -1,0 +1,96 @@
+// Package ctxflow is the golden input of the context-threading analyzer:
+// a function that takes a context must hand that context (not a literal
+// Background/TODO) to ctx-accepting callees, and its big loops must stay
+// cancellable. Checked under import path "x/flow" — in ctxflow's scope but
+// outside detflow's — with no clock, rand, or map-order constructs, so
+// only the context discipline fires.
+package ctxflow
+
+import "context"
+
+// work is the ctx-accepting callee the findings point at.
+func work(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * 2
+}
+
+// Detach hands the callee a literal Background while its own context is in
+// scope: the callee silently escapes the caller's cancellation.
+func Detach(ctx context.Context, n int) int {
+	return work(context.Background(), n) // want `Detach takes ctx but passes context\.Background\(\) to work; thread the caller's context`
+}
+
+// DetachTODO is the TODO-flavored detachment.
+func DetachTODO(ctx context.Context, n int) int {
+	return work(context.TODO(), n) // want `DetachTODO takes ctx but passes context\.TODO\(\) to work`
+}
+
+// Threaded passes its own context down: the clean idiom.
+func Threaded(ctx context.Context, n int) int {
+	return work(ctx, n)
+}
+
+// DetachReviewed detaches on purpose, with the review record the analyzer
+// asks for; the directive must silence the finding.
+func DetachReviewed(ctx context.Context, n int) int {
+	//lint:ignore ctxflow the audit pass must finish even when the caller gives up
+	return work(context.Background(), n)
+}
+
+// Scan is a long scan loop that never consults ctx: it can neither be
+// cancelled nor time out.
+func Scan(ctx context.Context, vals []int) int {
+	acc := 0
+	for i := 0; i < len(vals); i++ { // want `loop body \(\d+ nodes\) in Scan never consults ctx; poll ctx`
+		v := vals[i]
+		a := v * v
+		b := a + v
+		c := b ^ a
+		d := c - v
+		e := d | a
+		f := e & b
+		g := f + c
+		h := g * d
+		acc += h + a
+		acc += b + c + d
+		acc += e + f + g
+		acc += v ^ h
+	}
+	return acc
+}
+
+// ScanCancellable is the same loop with a poll at the top: mentioning the
+// context exempts it.
+func ScanCancellable(ctx context.Context, vals []int) int {
+	acc := 0
+	for i := 0; i < len(vals); i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		v := vals[i]
+		a := v * v
+		b := a + v
+		c := b ^ a
+		d := c - v
+		e := d | a
+		f := e & b
+		g := f + c
+		h := g * d
+		acc += h + a
+		acc += b + c + d
+		acc += e + f + g
+		acc += v ^ h
+	}
+	return acc
+}
+
+// Bookkeep's loop is small: below the size threshold, no poll required.
+func Bookkeep(ctx context.Context, vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total + len(vals)
+}

@@ -1,0 +1,61 @@
+// Package detflow is the golden input of the interprocedural
+// determinism-taint analyzer: nondeterminism sources (map-iteration order,
+// the wall clock) must not reach core.Result construction or JSON
+// marshalling without an intervening sort, even across call boundaries.
+// Checked under import path "x/serve" so detrange and clockrand stay out
+// of scope and only the taint flow is pinned.
+package detflow
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"tracescale/internal/core"
+)
+
+// gather appends map keys in iteration order with no later sort: the taint
+// source every caller inherits.
+func gather(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MarshalUnsorted marshals the map-ordered keys straight out: the taint
+// crosses the gather call boundary and reaches the sink.
+func MarshalUnsorted(m map[string]int) ([]byte, error) {
+	keys := gather(m)
+	return json.Marshal(keys) // want `json\.Marshal is built while tainted by map-iteration-order append to keys at detflow\.go:\d+ via MarshalUnsorted -> gather`
+}
+
+// MarshalSorted canonicalizes before marshalling: the sort call makes this
+// frame a taint barrier, so the same gather source is absolved.
+func MarshalSorted(m map[string]int) ([]byte, error) {
+	keys := gather(m)
+	sort.Strings(keys)
+	return json.Marshal(keys)
+}
+
+// BuildStamped constructs a Result in a frame that read the wall clock.
+func BuildStamped(selected []string) core.Result {
+	start := time.Now()
+	_ = start
+	return core.Result{Selected: selected} // want `core\.Result is built while tainted by a wall-clock read \(time\.Now\) at detflow\.go:\d+`
+}
+
+// BuildPlain constructs a Result with no source anywhere in its call tree.
+func BuildPlain(selected []string) core.Result {
+	return core.Result{Selected: selected, Width: len(selected)}
+}
+
+// MarshalTimed stamps the marshal for timing metrics; the reviewed clock
+// read never reaches the payload, so the suppressed source must not taint.
+func MarshalTimed(v []int) ([]byte, error) {
+	//lint:ignore detflow the start stamp is timing metadata and never reaches the payload
+	start := time.Now()
+	_ = start
+	return json.Marshal(v)
+}

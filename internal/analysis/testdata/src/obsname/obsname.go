@@ -1,0 +1,38 @@
+// Package obsname is the golden input of the metric-namespace analyzer:
+// literal names registered through an obs.Registry must match the dotted
+// pkg.subsystem.metric grammar and map to exactly one instrument kind.
+// Checked under import path "x/metrics" so no other analyzer is in scope.
+package obsname
+
+import "tracescale/internal/obs"
+
+// Record registers well-formed names — including the same counter bumped
+// from two sites, the normal idiom.
+func Record(reg *obs.Registry) {
+	reg.Counter("metrics.scan.total").Inc()
+	reg.Counter("metrics.scan.total").Inc()
+	reg.Gauge("metrics.scan.depth").Set(1)
+	reg.Histogram("metrics.scan.latency_ns", []int64{10, 100}).Observe(5)
+	reg.Add("metrics.scan.bytes", 64)
+}
+
+// BadGrammar registers names outside the dotted grammar.
+func BadGrammar(reg *obs.Registry) {
+	reg.Counter("Scans").Inc()              // want `metric name "Scans" does not match the pkg\.subsystem\.metric grammar`
+	reg.Counter("metrics.Scan.total").Inc() // want `metric name "metrics\.Scan\.total" does not match the pkg\.subsystem\.metric grammar`
+	reg.Gauge("metrics..depth_now").Set(2)  // want `metric name "metrics\.\.depth_now" does not match the pkg\.subsystem\.metric grammar`
+}
+
+// Shadowed registers one name as two instrument kinds: both sites are
+// findings, because one snapshot key holds whichever registered last.
+func Shadowed(reg *obs.Registry) {
+	reg.Counter("metrics.queue.depth").Inc() // want `metric name "metrics\.queue\.depth" is registered as 2 instrument kinds \(counter, gauge\)`
+	reg.Gauge("metrics.queue.depth").Set(0)  // want `metric name "metrics\.queue\.depth" is registered as 2 instrument kinds \(counter, gauge\)`
+}
+
+// LegacyName keeps a pre-grammar dashboard key alive under a reviewed
+// suppression; the directive must silence the grammar finding.
+func LegacyName(reg *obs.Registry) {
+	//lint:ignore obsname the v0 dashboard key predates the grammar; renamed in the next schema rev
+	reg.Counter("legacyTotal").Inc()
+}

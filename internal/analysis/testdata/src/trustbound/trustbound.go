@@ -1,0 +1,120 @@
+// Package trustbound is the golden input of the trust-boundary decode
+// analyzer: every json.NewDecoder reachable from an HTTP handler must
+// DisallowUnknownFields, and the decoding function (or every direct
+// caller) must make a validation call. Checked under import path "x/serve"
+// so the serve-scoped rule applies.
+package trustbound
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+type payload struct {
+	N int `json:"n"`
+}
+
+var errNegative = errors.New("negative n")
+
+// validate is the validation-shaped call the boundary rule looks for.
+func validate(p payload) error {
+	if p.N < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+// decodeLoose decodes handler-reachable input with neither hardening nor
+// validation: both findings land here.
+func decodeLoose(r *http.Request) (payload, error) { // want `decodeLoose decodes handler-reachable input but neither it nor every direct caller makes a validation call`
+	var p payload
+	dec := json.NewDecoder(r.Body) // want `json\.NewDecoder reachable from HTTP handler Handle never calls DisallowUnknownFields`
+	err := dec.Decode(&p)
+	return p, err
+}
+
+// Handle is the handler that makes decodeLoose reachable.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	p, err := decodeLoose(r)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	_ = p
+	w.WriteHeader(http.StatusOK)
+}
+
+// decodeStrict hardens the decoder and validates what it decoded: clean.
+func decodeStrict(r *http.Request) (payload, error) {
+	var p payload
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return p, err
+	}
+	return p, validate(p)
+}
+
+// HandleStrict serves the hardened path.
+func HandleStrict(w http.ResponseWriter, r *http.Request) {
+	if _, err := decodeStrict(r); err != nil {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// decodeInto hardens the decoder but leaves validation to its callers: the
+// decode-here-validate-there split.
+func decodeInto(r *http.Request, p *payload) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(p)
+}
+
+// HandleSplit is decodeInto's only caller and validates the value itself,
+// satisfying the every-direct-caller rule.
+func HandleSplit(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	if err := decodeInto(r, &p); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	if err := validate(p); err != nil {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// loadConfig decodes loosely but is reachable from no handler: CLI-side
+// decoding is not this analyzer's concern.
+func loadConfig(data []byte) (payload, error) {
+	var p payload
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&p)
+	return p, err
+}
+
+// decodeLegacy tolerates unknown fields from v0 clients on purpose; the
+// reviewed suppression silences the decoder finding and the validate call
+// satisfies the boundary rule.
+func decodeLegacy(r *http.Request) (payload, error) {
+	var p payload
+	//lint:ignore trustbound v0 clients still send retired fields; the value is validated below
+	err := json.NewDecoder(r.Body).Decode(&p)
+	if err != nil {
+		return p, err
+	}
+	return p, validate(p)
+}
+
+// HandleLegacy serves the tolerated legacy path.
+func HandleLegacy(w http.ResponseWriter, r *http.Request) {
+	if _, err := decodeLegacy(r); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

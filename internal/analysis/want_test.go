@@ -73,6 +73,13 @@ func TestGoldenPackages(t *testing.T) {
 		{dir: "soc", importPath: "soc"},
 		{dir: "obsdrop", importPath: "obsdrop"},
 		{dir: "campaign", importPath: "campaign"},
+		// The interprocedural goldens pick import paths that isolate one
+		// analyzer: "x/serve" is outside detrange/clockrand scope, "x/flow"
+		// outside detflow's, "x/metrics" outside everything scoped.
+		{dir: "detflow", importPath: "x/serve"},
+		{dir: "ctxflow", importPath: "x/flow"},
+		{dir: "trustbound", importPath: "x/serve"},
+		{dir: "obsname", importPath: "x/metrics"},
 		// clean is checked under a path that puts every scoped analyzer in
 		// scope; it must produce zero findings.
 		{dir: "clean", importPath: "core/obs/clean"},
@@ -134,6 +141,10 @@ func TestGoldenTripCounts(t *testing.T) {
 		{"obsdrop", "obsdrop", "obsdrop", 2},
 		{"campaign", "campaign", "clockrand", 2},
 		{"campaign", "campaign", "detrange", 2},
+		{"detflow", "x/serve", "detflow", 2},
+		{"ctxflow", "x/flow", "ctxflow", 3},
+		{"trustbound", "x/serve", "trustbound", 2},
+		{"obsname", "x/metrics", "obsname", 5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -182,9 +182,9 @@ func runShards(ctx context.Context, e *Evaluator, runner ShardRunner, tasks []Sh
 	var wg sync.WaitGroup
 	for i := range tasks {
 		wg.Add(1)
-		go pprof.Do(context.Background(),
+		go pprof.Do(ctx,
 			pprof.Labels("tracescale.pool", pool, "tracescale.shard", strconv.Itoa(i), "tracescale.runner", runner.Name()),
-			func(context.Context) {
+			func(ctx context.Context) {
 				defer wg.Done()
 				results[i], errs[i] = runner.RunShard(ctx, e, tasks[i])
 			})

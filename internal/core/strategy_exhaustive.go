@@ -44,6 +44,7 @@ func (e *Evaluator) scanMasks(ctx context.Context, lo, hi uint64, budget int, ke
 		if chunkHi > hi || chunkHi < chunkLo { // clamp, and guard uint64 wrap
 			chunkHi = hi
 		}
+		//lint:ignore ctxflow cancellation is polled at the chunk boundary above; the chunk loop is deliberately poll-free to stay byte-identical to the uncancellable scan
 		for mask := chunkLo; mask < chunkHi; mask++ {
 			width := 0
 			for m := mask; m != 0; m &= m - 1 {

@@ -171,6 +171,11 @@ func (s *Session) SelectContext(ctx context.Context, cfg core.Config) (*core.Res
 		s.obs.Counter("pipeline.results.shared").Inc()
 		return s.waitFlight(ctx, key, f)
 	}
+	// The flight must outlive any single waiter's ctx: it is shared by every
+	// concurrent caller, and waitFlight cancels it only when the last waiter
+	// leaves. Deriving it from this caller's ctx would cancel everyone's
+	// computation when the first caller times out.
+	//lint:ignore ctxflow singleflight computation detaches deliberately; the last departing waiter cancels it
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	s.flights[key] = f

@@ -80,6 +80,9 @@ func NewResultStore(reg *obs.Registry, capacity int, dir string) (*ResultStore, 
 // then the spill directory. A disk hit is promoted back into memory (and
 // counted as pipeline.store.disk_hits, not hits).
 func (s *ResultStore) Get(key string) (*core.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToBack(el)
@@ -106,6 +109,9 @@ func (s *ResultStore) Get(key string) (*core.Result, bool) {
 // concurrent reader — this process or another server sharing the
 // directory — never observes a torn file.
 func (s *ResultStore) Put(key string, res *core.Result) {
+	if s == nil {
+		return
+	}
 	s.put(key, res, s.dir != "")
 }
 
@@ -133,6 +139,9 @@ func (s *ResultStore) put(key string, res *core.Result, spill bool) {
 
 // Len returns the number of results held in memory.
 func (s *ResultStore) Len() int {
+	if s == nil {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.order.Len()

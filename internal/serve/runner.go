@@ -85,13 +85,61 @@ func finiteScore(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
-// decodeShardResponse strictly decodes and validates a worker's shard
-// reply. The validation is the trust boundary of the distributed scan: a
-// worker's bytes never reach the merge comparator unless the mask has
-// exactly wantWords words with at least one bit set, the scores are finite
-// (coverage within [0, 1]), and counts are non-negative — so a corrupt or
-// adversarial reply degrades into a retry, never a perturbed tie-break.
-// This is also the FuzzShardResponse target.
+// validateShardResponse is the trust boundary of the distributed scan: a
+// worker's decoded reply never reaches the merge comparator unless the
+// mask has exactly wantWords words with at least one bit set, the scores
+// are finite (coverage within [0, 1]), and counts are non-negative — so a
+// corrupt or adversarial reply degrades into a retry, never a perturbed
+// tie-break.
+func validateShardResponse(sr *ShardResponse, wantWords int, keep bool) error {
+	if sr.Nodes < 0 {
+		return fmt.Errorf("serve: negative shard node count %d", sr.Nodes)
+	}
+	if !keep && len(sr.Candidates) > 0 {
+		return fmt.Errorf("serve: %d unrequested shard candidates", len(sr.Candidates))
+	}
+	if !sr.Found {
+		if len(sr.Mask) != 0 || sr.Width != 0 || sr.Gain != 0 || sr.Coverage != 0 || len(sr.Candidates) != 0 {
+			return errors.New("serve: shard response carries a result but found=false")
+		}
+		return nil
+	}
+	if len(sr.Mask) != wantWords {
+		return fmt.Errorf("serve: shard mask has %d words, want %d", len(sr.Mask), wantWords)
+	}
+	empty := true
+	for _, w := range sr.Mask {
+		if w != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return errors.New("serve: shard result mask is empty")
+	}
+	if sr.Width < 0 {
+		return fmt.Errorf("serve: negative shard width %d", sr.Width)
+	}
+	if !finiteScore(sr.Gain) || sr.Gain < 0 {
+		return fmt.Errorf("serve: shard gain %v out of range", sr.Gain)
+	}
+	if !finiteScore(sr.Coverage) || sr.Coverage < 0 || sr.Coverage > 1 {
+		return fmt.Errorf("serve: shard coverage %v outside [0, 1]", sr.Coverage)
+	}
+	for i, c := range sr.Candidates {
+		if len(c.Messages) == 0 {
+			return fmt.Errorf("serve: shard candidate %d has no messages", i)
+		}
+		if c.Width < 0 || !finiteScore(c.Gain) || c.Gain < 0 || !finiteScore(c.Coverage) || c.Coverage < 0 || c.Coverage > 1 {
+			return fmt.Errorf("serve: shard candidate %d scores out of range", i)
+		}
+	}
+	return nil
+}
+
+// decodeShardResponse strictly decodes a worker's shard reply and passes
+// it through validateShardResponse before converting to core's form. This
+// is also the FuzzShardResponse target.
 func decodeShardResponse(data []byte, wantWords int, keep bool) (core.ShardResult, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -102,39 +150,11 @@ func decodeShardResponse(data []byte, wantWords int, keep bool) (core.ShardResul
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
 		return core.ShardResult{}, errors.New("serve: trailing data after shard response")
 	}
-	if sr.Nodes < 0 {
-		return core.ShardResult{}, fmt.Errorf("serve: negative shard node count %d", sr.Nodes)
-	}
-	if !keep && len(sr.Candidates) > 0 {
-		return core.ShardResult{}, fmt.Errorf("serve: %d unrequested shard candidates", len(sr.Candidates))
+	if err := validateShardResponse(&sr, wantWords, keep); err != nil {
+		return core.ShardResult{}, err
 	}
 	if !sr.Found {
-		if len(sr.Mask) != 0 || sr.Width != 0 || sr.Gain != 0 || sr.Coverage != 0 || len(sr.Candidates) != 0 {
-			return core.ShardResult{}, errors.New("serve: shard response carries a result but found=false")
-		}
 		return core.ShardResult{Nodes: sr.Nodes}, nil
-	}
-	if len(sr.Mask) != wantWords {
-		return core.ShardResult{}, fmt.Errorf("serve: shard mask has %d words, want %d", len(sr.Mask), wantWords)
-	}
-	empty := true
-	for _, w := range sr.Mask {
-		if w != 0 {
-			empty = false
-			break
-		}
-	}
-	if empty {
-		return core.ShardResult{}, errors.New("serve: shard result mask is empty")
-	}
-	if sr.Width < 0 {
-		return core.ShardResult{}, fmt.Errorf("serve: negative shard width %d", sr.Width)
-	}
-	if !finiteScore(sr.Gain) || sr.Gain < 0 {
-		return core.ShardResult{}, fmt.Errorf("serve: shard gain %v out of range", sr.Gain)
-	}
-	if !finiteScore(sr.Coverage) || sr.Coverage < 0 || sr.Coverage > 1 {
-		return core.ShardResult{}, fmt.Errorf("serve: shard coverage %v outside [0, 1]", sr.Coverage)
 	}
 	res := core.ShardResult{
 		Found:    true,
@@ -144,13 +164,7 @@ func decodeShardResponse(data []byte, wantWords int, keep bool) (core.ShardResul
 		Coverage: sr.Coverage,
 		Nodes:    sr.Nodes,
 	}
-	for i, c := range sr.Candidates {
-		if len(c.Messages) == 0 {
-			return core.ShardResult{}, fmt.Errorf("serve: shard candidate %d has no messages", i)
-		}
-		if c.Width < 0 || !finiteScore(c.Gain) || c.Gain < 0 || !finiteScore(c.Coverage) || c.Coverage < 0 || c.Coverage > 1 {
-			return core.ShardResult{}, fmt.Errorf("serve: shard candidate %d scores out of range", i)
-		}
+	for _, c := range sr.Candidates {
 		res.Candidates = append(res.Candidates, core.Candidate{
 			Messages: c.Messages, Width: c.Width, Gain: c.Gain, Coverage: c.Coverage,
 		})
@@ -247,8 +261,12 @@ func (r *HTTPRunner) quarantine(i int) {
 	r.mu.Unlock()
 }
 
-// RunShard implements core.ShardRunner over the worker fleet.
+// RunShard implements core.ShardRunner over the worker fleet. A nil
+// runner degrades to the local scan (the nil-is-a-no-op contract).
 func (r *HTTPRunner) RunShard(ctx context.Context, e *core.Evaluator, t core.ShardTask) (core.ShardResult, error) {
+	if r == nil {
+		return core.LocalRunner{}.RunShard(ctx, e, t)
+	}
 	payload, err := json.Marshal(shardRequestFor(r.scenario, t))
 	if err != nil {
 		return core.ShardResult{}, fmt.Errorf("serve: encoding shard request: %w", err)
