@@ -14,8 +14,13 @@
 // Message sets: mi (the paper's Steps 1-3 selection), widest (widest-first
 // structural baseline), pagerank (PRNet-style message-dependency PageRank),
 // random (seeded random feasible set), or any registered selection method
-// name (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound) to
-// score that Step-2 strategy's selection, e.g. -sets mi,celf,branch-bound.
+// name (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound,
+// reconstruct) to score that Step-2 strategy's selection, e.g.
+// -sets mi,celf,branch-bound. The default grid scores mi against the
+// ambiguity-minimizing reconstruct selection and the structural baselines,
+// and every scorecard carries the set's expected reconstruction ambiguity
+// (mean.amb) next to its localization rates — the MI-vs-ambiguity
+// head-to-head.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/pipeline"
+	"tracescale/internal/reconstruct"
 )
 
 func main() {
@@ -60,7 +66,7 @@ func run(args []string, w io.Writer) error {
 		reps     = fs.Int("reps", 1, "repetitions per (scenario, bug) cell, reseeded per run")
 		seed     = fs.Int64("seed", 1, "campaign master seed")
 		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); any value yields the same report")
-		sets     = fs.String("sets", "mi,widest,pagerank,random", "comma-separated message sets to score")
+		sets     = fs.String("sets", "mi,reconstruct,widest,pagerank,random", "comma-separated message sets to score")
 		jsonPath = fs.String("json", "", "write the full deterministic JSON report to this file")
 		timeout  = fs.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "retries per timed-out run")
@@ -131,34 +137,49 @@ func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec,
 				bugs = append(bugs, b)
 			}
 		}
+		ses, err := pipeline.For(s.Instances())
+		if err != nil {
+			return spec, err
+		}
 		var msets []campaign.MessageSet
+		ambiguity := make(map[string]float64, len(setNames))
 		for _, name := range setNames {
-			traced, err := tracedFor(name, s, seed)
+			traced, err := tracedFor(name, ses, seed)
 			if err != nil {
 				return spec, err
 			}
 			msets = append(msets, campaign.MessageSet{Name: name, Traced: traced})
+			tracedSet := make(map[string]bool, len(traced))
+			for _, n := range traced {
+				tracedSet[n] = true
+			}
+			// The analytical ambiguity of the set on this scenario — what the
+			// reconstruction engine would face per failing run. The T2
+			// products all sit under the pair-DP state limit, so this is
+			// exact.
+			amb, err := reconstruct.ExpectedAmbiguity(ses.Product(), tracedSet)
+			if err != nil {
+				return spec, fmt.Errorf("scenario %d set %q ambiguity: %w", s.ID, name, err)
+			}
+			ambiguity[name] = amb
 		}
 		spec.Scenarios = append(spec.Scenarios, campaign.Scenario{
-			Name:     fmt.Sprintf("scenario-%d", s.ID),
-			Launches: s.Launches(exp.InstancesPerFlow, launchStride),
-			Universe: universe,
-			Flows:    s.Flows(),
-			Causes:   causes,
-			Bugs:     bugs,
-			Sets:     msets,
+			Name:      fmt.Sprintf("scenario-%d", s.ID),
+			Launches:  s.Launches(exp.InstancesPerFlow, launchStride),
+			Universe:  universe,
+			Flows:     s.Flows(),
+			Causes:    causes,
+			Bugs:      bugs,
+			Sets:      msets,
+			Ambiguity: ambiguity,
 		})
 	}
 	return spec, nil
 }
 
-// tracedFor resolves one selector name to its traced message set for the
-// scenario, all at the paper's 32-bit buffer width.
-func tracedFor(name string, s opensparc.Scenario, seed int64) ([]string, error) {
-	ses, err := pipeline.For(s.Instances())
-	if err != nil {
-		return nil, err
-	}
+// tracedFor resolves one selector name to its traced message set against
+// the scenario's pipeline session, all at the paper's 32-bit buffer width.
+func tracedFor(name string, ses *pipeline.Session, seed int64) ([]string, error) {
 	e := ses.Evaluator()
 	switch name {
 	case "mi":
@@ -221,11 +242,11 @@ func renderSummary(w io.Writer, rep *campaign.Report) {
 		fmt.Fprintf(w, " %s %d", o, tally[o])
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-10s %8s %9s %9s %9s %9s %11s %11s\n",
-		"set", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus")
+	fmt.Fprintf(w, "%-12s %8s %9s %9s %9s %9s %11s %11s %10s\n",
+		"set", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus", "mean.amb")
 	for _, c := range rep.Scorecards {
-		fmt.Fprintf(w, "%-10s %8d %9d %9d %9d %9d %11.2f %11.2f\n",
+		fmt.Fprintf(w, "%-12s %8d %9d %9d %9d %9d %11.2f %11.2f %10.2f\n",
 			c.Set, c.SymptomRuns, c.RunsDetected, c.RunsLocalized,
-			c.BugsDetected, c.BugsLocalized, c.MeanDepth, c.MeanPlausible)
+			c.BugsDetected, c.BugsLocalized, c.MeanDepth, c.MeanPlausible, c.MeanAmbiguity)
 	}
 }

@@ -139,6 +139,22 @@ func TestGoldenReport(t *testing.T) {
 	if best := maxBaselineLocalized(rep); mi.BugsLocalized <= best {
 		t.Errorf("mi localizes %d bugs, best baseline %d — expected a strict margin", mi.BugsLocalized, best)
 	}
+	// The MI-vs-ambiguity head-to-head: the ambiguity-minimizing selection
+	// must achieve the lowest expected reconstruction ambiguity of every
+	// scored set, and every declared ambiguity is at least 1.
+	recon := rep.Card("reconstruct")
+	if recon == nil {
+		t.Fatal("no reconstruct scorecard")
+	}
+	for _, c := range rep.Scorecards {
+		if c.MeanAmbiguity < 1 {
+			t.Errorf("%s mean ambiguity %g below 1 is impossible", c.Set, c.MeanAmbiguity)
+		}
+		if recon.MeanAmbiguity > c.MeanAmbiguity+1e-9 {
+			t.Errorf("reconstruct mean ambiguity %g exceeds %s's %g — its own objective",
+				recon.MeanAmbiguity, c.Set, c.MeanAmbiguity)
+		}
+	}
 	if rep.Grid.Runs < 25 {
 		t.Errorf("grid has %d runs, want the full catalog sweep (>= 25)", rep.Grid.Runs)
 	}
@@ -159,12 +175,15 @@ func maxBaselineLocalized(rep *campaign.Report) int {
 	return best
 }
 
-// The CLI must inherit the runner's determinism: explicit odd worker
-// counts still reproduce the golden bytes.
+// The CLI must inherit the runner's determinism: every worker count —
+// including the MI-vs-ambiguity scorecard's float aggregation — must
+// reproduce the same report bytes (CI runs this package under -race).
 func TestReportIndependentOfWorkers(t *testing.T) {
 	one, _ := renderReport(t, "-workers", "1")
-	seven, _ := renderReport(t, "-workers", "7")
-	if !bytes.Equal(one, seven) {
-		t.Error("reports differ between -workers 1 and -workers 7")
+	for _, workers := range []string{"2", "4", "7"} {
+		again, _ := renderReport(t, "-workers", workers)
+		if !bytes.Equal(one, again) {
+			t.Errorf("reports differ between -workers 1 and -workers %s", workers)
+		}
 	}
 }

@@ -8,14 +8,22 @@
 // / -export-synth JSON, optionally with "method", "width", "noPack",
 // "maxCandidates", "workers", "keepCandidates" fields alongside) returns
 // the selection as JSON; "method" accepts every registered strategy name
-// (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound), and an
-// option the method cannot honor is a 422, not silently ignored. GET /healthz
-// answers ok; GET /metrics snapshots the service's observability registry.
+// (exhaustive, knapsack, greedy, max-coverage, celf, branch-bound,
+// reconstruct), and an option the method cannot honor is a 422, not
+// silently ignored. GET /healthz answers ok; GET /metrics snapshots the
+// service's observability registry.
 //
 // POST /select/batch runs many option sets against one scenario in a
 // single request (capped by -max-batch); duplicate option sets cost one
 // scan. Selections are answered from a content-addressed result store
 // first — give it -store-dir to persist results across restarts.
+//
+// POST /reconstruct answers the debug-side question: given the scenario,
+// the "traced" signal set, and the "observed" projection read back from
+// the buffer (a list of {"name","index"} entries), how many executions
+// remain consistent with the observation? The reply carries the exact
+// count (or a "beam"-mode lower bound), the per-step survivor profile,
+// and up to "maxWitnesses" explicit witness executions.
 //
 // The daemon also runs distributed: start workers with -worker (they serve
 // POST /shard) and point a coordinator at them with -workers-list

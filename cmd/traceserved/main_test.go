@@ -259,3 +259,77 @@ func TestRunConcurrentClients(t *testing.T) {
 		t.Fatalf("run returned %v", err)
 	}
 }
+
+// reconstructRequestBody loads the checked-in /reconstruct request (the
+// toy scenario, ReqE+GntE traced, the paper's three-message observation),
+// regenerating it under -update so the testdata can never drift from the
+// spec writer's format.
+func reconstructRequestBody(t *testing.T) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", "reconstruct_request.json")
+	if *update {
+		var m map[string]any
+		if err := json.Unmarshal(toyRequestBody(t), &m); err != nil {
+			t.Fatal(err)
+		}
+		m["traced"] = []string{"ReqE", "GntE"}
+		m["observed"] = []map[string]any{
+			{"name": "ReqE", "index": 1},
+			{"name": "GntE", "index": 1},
+			{"name": "ReqE", "index": 2},
+		}
+		m["maxWitnesses"] = 4
+		raw, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// The daemon must reconstruct the paper's observation byte-identically to
+// the checked-in golden: the engine is bit-deterministic, so the count,
+// survivor profile, and witness are pinned exactly.
+func TestRunServesReconstructGolden(t *testing.T) {
+	var out logBuf
+	url, shutdown, wait := startDaemon(t, &out)
+
+	resp, err := http.Post(url+"/reconstruct", "application/json", bytes.NewReader(reconstructRequestBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body.String())
+	}
+
+	golden := filepath.Join("testdata", "reconstruct_response.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, body.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body.Bytes(), want) {
+		t.Errorf("response diverges from golden\ngot:\n%s\nwant:\n%s", body.Bytes(), want)
+	}
+
+	shutdown()
+	if err := wait(); err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}

@@ -71,6 +71,15 @@ type Scenario struct {
 	// Every scenario of a Spec must declare the same set names in the same
 	// order, so scorecards aggregate across scenarios.
 	Sets []MessageSet
+	// Ambiguity optionally carries, per set name, the expected
+	// reconstruction ambiguity of that set on this scenario — the mean
+	// number of executions consistent with a random execution's traced
+	// projection (reconstruct.ExpectedAmbiguity). It is an analytical
+	// property of (scenario, traced set), computed once at spec-build time,
+	// not per run; the runner only aggregates it into the scorecards so
+	// localization rates and ambiguity sit side by side. Keys must name
+	// declared sets.
+	Ambiguity map[string]float64
 }
 
 // Spec describes one campaign: the grid Σ_scenario (bugs × Reps).
@@ -199,6 +208,14 @@ func (s *Spec) validate() error {
 			}
 			names = append(names, set.Name)
 		}
+		for name, a := range scn.Ambiguity {
+			if !seen[name] {
+				return fmt.Errorf("campaign: scenario %q declares ambiguity for %q, not a declared set", scn.Name, name)
+			}
+			if a < 1 {
+				return fmt.Errorf("campaign: scenario %q set %q ambiguity %g below 1 is impossible", scn.Name, name, a)
+			}
+		}
 		if si == 0 {
 			setNames = names
 		} else if fmt.Sprint(names) != fmt.Sprint(setNames) {
@@ -276,6 +293,7 @@ func Run(spec Spec) (*Report, error) {
 		Runs: records,
 	}
 	rep.Scorecards = scorecards(rep.Sets, records)
+	meanAmbiguity(s, rep)
 	reg.Trace().Emit("campaign", "run", map[string]int64{
 		"scenarios": int64(len(s.Scenarios)),
 		"runs":      int64(len(points)),
@@ -508,6 +526,26 @@ func scorecards(sets []string, records []RunRecord) []Scorecard {
 		cards[k] = card
 	}
 	return cards
+}
+
+// meanAmbiguity folds the scenarios' analytical ambiguity declarations
+// into the scorecards: per set, the mean over the scenarios that declare
+// it, walked in spec order so the value is bit-deterministic. Sets no
+// scenario declares keep the zero value (absent, not "ambiguity 0" —
+// real ambiguity is never below 1).
+func meanAmbiguity(s *Spec, rep *Report) {
+	for k, name := range rep.Sets {
+		sum, n := 0.0, 0
+		for i := range s.Scenarios {
+			if a, ok := s.Scenarios[i].Ambiguity[name]; ok {
+				sum += a
+				n++
+			}
+		}
+		if n > 0 {
+			rep.Scorecards[k].MeanAmbiguity = sum / float64(n)
+		}
+	}
 }
 
 // sortedCount counts a set's members via its sorted key list — the

@@ -207,6 +207,12 @@ func TestCampaignValidation(t *testing.T) {
 		{"unknown traced", mutate(func(s *Spec) {
 			s.Scenarios[0].Sets[0].Traced = []string{"zz"}
 		}), "not in the scenario universe"},
+		{"ambiguity for undeclared set", mutate(func(s *Spec) {
+			s.Scenarios[0].Ambiguity = map[string]float64{"bogus": 2}
+		}), "not a declared set"},
+		{"impossible ambiguity", mutate(func(s *Spec) {
+			s.Scenarios[0].Ambiguity = map[string]float64{"all": 0.5}
+		}), "below 1 is impossible"},
 		{"set mismatch", mutate(func(s *Spec) {
 			scn2 := testScenario(t, "t2", 6)
 			scn2.Sets = scn2.Sets[:1]
@@ -316,5 +322,25 @@ func TestCampaignTimeoutExhaustsRetries(t *testing.T) {
 	}
 	if snap["campaign.runs.completed"] != 0 {
 		t.Errorf("completed = %d, want 0", snap["campaign.runs.completed"])
+	}
+}
+
+// TestCampaignMeanAmbiguity: declared per-scenario ambiguities average
+// into the scorecards in scenario order; undeclared sets stay zero.
+func TestCampaignMeanAmbiguity(t *testing.T) {
+	spec := testSpec(t)
+	scn2 := testScenario(t, "t2", 6)
+	spec.Scenarios = append(spec.Scenarios, scn2)
+	spec.Scenarios[0].Ambiguity = map[string]float64{"all": 1, "aonly": 3}
+	spec.Scenarios[1].Ambiguity = map[string]float64{"aonly": 5}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Card("all").MeanAmbiguity; got != 1 {
+		t.Errorf("all mean ambiguity = %g, want 1 (only scenario t declares it)", got)
+	}
+	if got := rep.Card("aonly").MeanAmbiguity; got != 4 {
+		t.Errorf("aonly mean ambiguity = %g, want (3+5)/2 = 4", got)
 	}
 }

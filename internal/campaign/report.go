@@ -82,6 +82,12 @@ type Scorecard struct {
 	MeanDepth float64 `json:"mean_depth"`
 	// MeanPlausible is the mean surviving-cause count over symptom runs.
 	MeanPlausible float64 `json:"mean_plausible"`
+	// MeanAmbiguity is the mean expected reconstruction ambiguity of the
+	// set over the scenarios that declare one (Scenario.Ambiguity) — how
+	// many executions a reconstruction engine would still weigh after
+	// observing the set's projection, next to how well the debugger
+	// localized with it. Zero when no scenario declared it.
+	MeanAmbiguity float64 `json:"mean_ambiguity"`
 }
 
 // Report is the campaign's complete, deterministic result. Two campaigns

@@ -50,6 +50,15 @@ const (
 	// mask space, so it keeps selecting past Exhaustive's MaxCandidates
 	// guard (MaxCandidates instead caps explored search nodes per worker).
 	BranchBound
+	// Reconstruct greedily minimizes expected reconstruction ambiguity
+	// (reconstruct.PairCount / TotalPaths): each round adds the fitting
+	// message whose traced set leaves a debugger the fewest executions
+	// consistent with an average observed trace, breaking exact pair-count
+	// ties by information gain and then universe order. The objective is
+	// not additive — pair counts couple across messages — so selection
+	// re-scores the whole set per candidate; the quadratic pair DP limits
+	// it to products within reconstruct.MaxAmbiguityStates.
+	Reconstruct
 )
 
 // Capabilities reports which Config options a Strategy honors. Select
@@ -87,6 +96,7 @@ var registry = [...]Strategy{
 	MaxCoverage: maxCoverageStrategy{},
 	CELF:        celfStrategy{},
 	BranchBound: branchBoundStrategy{},
+	Reconstruct: reconstructStrategy{},
 }
 
 // strategy returns the registered Strategy, or nil for an out-of-range

@@ -1,0 +1,145 @@
+package interleave
+
+import (
+	"math/big"
+	"testing"
+
+	"tracescale/internal/flow"
+)
+
+func TestCounterRejectsUntracedObservation(t *testing.T) {
+	p := twoInstances(t)
+	_, err := p.NewCounter(map[string]bool{"ReqE": true}, []flow.IndexedMsg{{Name: "Ack", Index: 1}}, Prefix)
+	if err == nil {
+		t.Fatal("NewCounter should reject an observed message outside the traced set")
+	}
+}
+
+func TestCounterTotalMatchesConsistentPaths(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true, "GntE": true}
+	observed := []flow.IndexedMsg{
+		{Name: "ReqE", Index: 1},
+		{Name: "GntE", Index: 1},
+		{Name: "ReqE", Index: 2},
+	}
+	for _, mode := range []MatchMode{Prefix, Exact} {
+		c, err := p.NewCounter(traced, observed, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.ConsistentPaths(traced, observed, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Total(); got.Cmp(want) != 0 {
+			t.Errorf("mode %v: Counter.Total = %v, ConsistentPaths = %v", mode, got, want)
+		}
+	}
+}
+
+func TestCounterFromInitEqualsTotal(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true}
+	observed := []flow.IndexedMsg{{Name: "ReqE", Index: 2}}
+	c, err := p.NewCounter(traced, observed, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper example has a single init state, so From(init, 0) is the
+	// whole count.
+	if got, want := c.From(p.Init()[0], 0), c.Total(); got.Cmp(want) != 0 {
+		t.Errorf("From(init, 0) = %v, Total = %v", got, want)
+	}
+}
+
+func TestCounterFromStopState(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true}
+	stop := p.Stop()[0]
+
+	// At a stop state with the whole observation matched there is exactly
+	// one completion: the empty one.
+	c, err := p.NewCounter(traced, []flow.IndexedMsg{{Name: "ReqE", Index: 1}}, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.From(stop, 1); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("From(stop, k) = %v, want 1", got)
+	}
+	// With observed messages still pending there is none: the execution
+	// ended before the buffer's recording did.
+	if got := c.From(stop, 0); got.Sign() != 0 {
+		t.Errorf("From(stop, 0) with pending observation = %v, want 0", got)
+	}
+}
+
+func TestCounterStep(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true}
+	observed := []flow.IndexedMsg{{Name: "ReqE", Index: 1}}
+	prefix, err := p.NewCounter(traced, observed, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := p.NewCounter(traced, observed, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		c      *Counter
+		m      flow.IndexedMsg
+		j      int
+		wantJ  int
+		wantOK bool
+	}{
+		{"untraced advances nothing", prefix, flow.IndexedMsg{Name: "GntE", Index: 1}, 0, 0, true},
+		{"expected message matches", prefix, flow.IndexedMsg{Name: "ReqE", Index: 1}, 0, 1, true},
+		{"wrong index contradicts", prefix, flow.IndexedMsg{Name: "ReqE", Index: 2}, 0, 0, false},
+		{"past the end, prefix tolerates", prefix, flow.IndexedMsg{Name: "ReqE", Index: 2}, 1, 1, true},
+		{"past the end, exact rejects", exact, flow.IndexedMsg{Name: "ReqE", Index: 2}, 1, 1, false},
+	}
+	for _, tc := range cases {
+		gotJ, gotOK := tc.c.Step(tc.m, tc.j)
+		if gotOK != tc.wantOK || (gotOK && gotJ != tc.wantJ) {
+			t.Errorf("%s: Step(%v, %d) = (%d, %v), want (%d, %v)",
+				tc.name, tc.m, tc.j, gotJ, gotOK, tc.wantJ, tc.wantOK)
+		}
+	}
+}
+
+func TestCounterMemoReuse(t *testing.T) {
+	p := twoInstances(t)
+	traced := map[string]bool{"ReqE": true, "GntE": true}
+	observed := []flow.IndexedMsg{{Name: "ReqE", Index: 1}}
+	c, err := p.NewCounter(traced, observed, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Total()
+	if second := c.Total(); first.Cmp(second) != 0 {
+		t.Errorf("repeated Total disagrees: %v vs %v", first, second)
+	}
+	// The memo shares *big.Int values across queries; both calls must
+	// return the same pinned answer object-equal or value-equal.
+	for u := 0; u < p.NumStates(); u++ {
+		for j := 0; j <= len(observed); j++ {
+			a, b := c.From(u, j), c.From(u, j)
+			if a != b {
+				t.Fatalf("From(%d, %d) returned distinct memo objects", u, j)
+			}
+		}
+	}
+}
+
+func TestCounterEmptyObservationCountsAllPaths(t *testing.T) {
+	p := twoInstances(t)
+	c, err := p.NewCounter(map[string]bool{}, nil, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Total(); got.Cmp(p.TotalPaths()) != 0 {
+		t.Errorf("nothing traced, nothing observed: Total = %v, want TotalPaths = %v", got, p.TotalPaths())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math/big"
 
 	"tracescale/internal/flow"
 )
@@ -25,14 +24,13 @@ func (p *Product) WriteDOT(w io.Writer, traced map[string]bool, highlight []flow
 	// on a consistent execution: forward-reachable under the observation
 	// DP and backward-consistent. Simpler and exact: an edge is red when
 	// the count of consistent paths through it is positive; derive via the
-	// same DP plus prefix-feasibility from the initial states.
+	// shared Counter DP plus prefix-feasibility from the initial states.
 	onPath := map[[2]int]bool{} // (state, matched) reachable from init
 	var redEdge func(u int, e Edge, j int) bool
 	if highlight != nil {
-		for _, m := range highlight {
-			if !traced[m.Name] {
-				return fmt.Errorf("interleave: highlighted message %s not traced", m)
-			}
+		ctr, err := p.NewCounter(traced, highlight, Prefix)
+		if err != nil {
+			return err
 		}
 		// Forward reachability over (state, matched-prefix-length).
 		type node struct{ u, j int }
@@ -50,21 +48,12 @@ func (p *Product) WriteDOT(w io.Writer, traced map[string]bool, highlight []flow
 			stack = stack[:len(stack)-1]
 			onPath[[2]int{n.u, n.j}] = true
 			for _, e := range p.out[n.u] {
-				m := p.Msg(e)
-				var next node
-				switch {
-				case !traced[m.Name]:
-					next = node{e.To, n.j}
-				case n.j < len(highlight) && m == highlight[n.j]:
-					next = node{e.To, n.j + 1}
-				case n.j >= len(highlight):
-					next = node{e.To, n.j}
-				default:
-					continue
-				}
-				if !seen[next] {
-					seen[next] = true
-					stack = append(stack, next)
+				if nj, ok := ctr.Step(p.Msg(e), n.j); ok {
+					next := node{e.To, nj}
+					if !seen[next] {
+						seen[next] = true
+						stack = append(stack, next)
+					}
 				}
 			}
 		}
@@ -75,20 +64,8 @@ func (p *Product) WriteDOT(w io.Writer, traced map[string]bool, highlight []flow
 			if !onPath[[2]int{u, j}] {
 				return false
 			}
-			m := p.Msg(e)
-			var nj int
-			switch {
-			case !traced[m.Name]:
-				nj = j
-			case j < len(highlight) && m == highlight[j]:
-				nj = j + 1
-			case j >= len(highlight):
-				nj = j
-			default:
-				return false
-			}
-			c, err := p.consistentFrom(e.To, nj, traced, highlight)
-			return err == nil && c.Sign() > 0
+			nj, ok := ctr.Step(p.Msg(e), j)
+			return ok && ctr.From(e.To, nj).Sign() > 0
 		}
 	}
 
@@ -135,41 +112,4 @@ func (p *Product) WriteDOT(w io.Writer, traced map[string]bool, highlight []flow
 	}
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()
-}
-
-// consistentFrom counts consistent completions from state u with j
-// observed messages already matched — a single-source variant of
-// ConsistentPaths used by the DOT highlighter.
-func (p *Product) consistentFrom(u, j int, traced map[string]bool, observed []flow.IndexedMsg) (*big.Int, error) {
-	isStop := make([]bool, p.NumStates())
-	for _, s := range p.stop {
-		isStop[s] = true
-	}
-	k := len(observed)
-	memo := make(map[[2]int]*big.Int)
-	var count func(u, j int) *big.Int
-	count = func(u, j int) *big.Int {
-		key := [2]int{u, j}
-		if c, ok := memo[key]; ok {
-			return c
-		}
-		c := new(big.Int)
-		memo[key] = c
-		if isStop[u] && j == k {
-			c.SetInt64(1)
-		}
-		for _, e := range p.out[u] {
-			m := p.Msg(e)
-			switch {
-			case !traced[m.Name]:
-				c.Add(c, count(e.To, j))
-			case j < k && m == observed[j]:
-				c.Add(c, count(e.To, j+1))
-			case j == k:
-				c.Add(c, count(e.To, j))
-			}
-		}
-		return c
-	}
-	return count(u, j), nil
 }

@@ -29,58 +29,11 @@ const (
 // An observed message whose name is not in traced is an error: the trace
 // buffer cannot contain a message that was never traced.
 func (p *Product) ConsistentPaths(traced map[string]bool, observed []flow.IndexedMsg, mode MatchMode) (*big.Int, error) {
-	for _, m := range observed {
-		if !traced[m.Name] {
-			return nil, fmt.Errorf("interleave: observed message %s is not in the traced set", m)
-		}
+	c, err := p.NewCounter(traced, observed, mode)
+	if err != nil {
+		return nil, err
 	}
-	n := p.NumStates()
-	k := len(observed)
-	isStop := make([]bool, n)
-	for _, s := range p.stop {
-		isStop[s] = true
-	}
-	// memo[u][j] = number of consistent completions from state u having
-	// already matched j observed messages. nil marks "not yet computed".
-	memo := make([][]*big.Int, n)
-	for i := range memo {
-		memo[i] = make([]*big.Int, k+1)
-	}
-	var count func(u, j int) *big.Int
-	count = func(u, j int) *big.Int {
-		if c := memo[u][j]; c != nil {
-			return c
-		}
-		c := new(big.Int)
-		memo[u][j] = c // products of DAGs are acyclic, so no re-entrancy
-		if isStop[u] && j == k {
-			c.SetInt64(1)
-		}
-		for _, e := range p.out[u] {
-			m := p.Msg(e)
-			switch {
-			case !traced[m.Name]:
-				c.Add(c, count(e.To, j))
-			case j < k && m == observed[j]:
-				c.Add(c, count(e.To, j+1))
-			case j == k && mode == Prefix:
-				c.Add(c, count(e.To, j))
-			default:
-				// Traced message that contradicts the observation: this
-				// branch is ruled out.
-			}
-		}
-		return c
-	}
-	total := new(big.Int)
-	seen := make(map[int]bool, len(p.init))
-	for _, s := range p.init {
-		if !seen[s] {
-			seen[s] = true
-			total.Add(total, count(s, 0))
-		}
-	}
-	return total, nil
+	return c.Total(), nil
 }
 
 // Localization returns the fraction of the interleaved flow's executions

@@ -29,6 +29,7 @@ import (
 	"tracescale/internal/flow"
 	"tracescale/internal/interleave"
 	"tracescale/internal/obs"
+	"tracescale/internal/reconstruct"
 )
 
 // Session is one scenario's analyzed selection pipeline: the interleaved
@@ -45,6 +46,7 @@ type Session struct {
 	mu      sync.Mutex
 	results map[core.Config]*core.Result
 	flights map[core.Config]*flight
+	recons  map[reconKey]*reconstruct.Result
 }
 
 // flight is one in-progress selection shared by every concurrent caller
@@ -107,6 +109,7 @@ func newSession(fp string, instances []flow.Instance, reg *obs.Registry) (*Sessi
 		obs:     reg,
 		results: make(map[core.Config]*core.Result),
 		flights: make(map[core.Config]*flight),
+		recons:  make(map[reconKey]*reconstruct.Result),
 	}, nil
 }
 

@@ -29,6 +29,14 @@
 // single request; duplicate configs inside a batch singleflight through
 // the pipeline layer, so M distinct configs cost exactly M scans.
 //
+// POST /reconstruct closes the loop on the debug side: given the scenario,
+// the traced signal set, and the projection read back from the buffer, it
+// answers with the number of executions consistent with the observation
+// (exact, or a beam-bounded lower bound), the per-step survivor profile,
+// and optionally explicit witness executions. Reconstructions memoize in
+// the scenario's pipeline Session, so repeated observations are answered
+// from cache.
+//
 // The same handler also runs as a distributed worker (Config.Worker): it
 // then exposes POST /shard, which executes one core.ShardTask against the
 // scenario's evaluator and returns the shard incumbent. A coordinator
@@ -266,6 +274,7 @@ func NewHandler(cfg Config) *Handler {
 	} else {
 		h.mux.HandleFunc("/select", h.handleSelect)
 		h.mux.HandleFunc("/select/batch", h.handleBatch)
+		h.mux.HandleFunc("/reconstruct", h.handleReconstruct)
 	}
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
