@@ -21,12 +21,20 @@
 // and every scorecard carries the set's expected reconstruction ambiguity
 // (mean.amb) next to its localization rates — the MI-vs-ambiguity
 // head-to-head.
+//
+// The mined-vs-truth mode (-mined) additionally mines flow specifications
+// from golden traces of each scenario (internal/mine corpus inference),
+// reruns every requested selector under the mined specs, and scores the
+// "mined:" sets head-to-head against the ground-truth ones on the same
+// grid — how much localization power survives when the flow collateral is
+// bootstrapped from silicon observation instead of architects' documents.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -34,10 +42,14 @@ import (
 	"tracescale/internal/campaign"
 	"tracescale/internal/core"
 	"tracescale/internal/exp"
+	"tracescale/internal/flow"
+	"tracescale/internal/mine"
 	"tracescale/internal/obs"
 	"tracescale/internal/opensparc"
 	"tracescale/internal/pipeline"
 	"tracescale/internal/reconstruct"
+	"tracescale/internal/soc"
+	"tracescale/internal/tbuf"
 )
 
 func main() {
@@ -71,6 +83,7 @@ func run(args []string, w io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "retries per timed-out run")
 		metrics  = fs.String("metrics-json", "", "write the campaign.* observability snapshot as JSON to this file")
+		mined    = fs.Bool("mined", false, "also score every set selected under specs mined from golden traces (mined-vs-truth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -85,7 +98,7 @@ func run(args []string, w io.Writer) error {
 	}
 	setNames := strings.Split(*sets, ",")
 	reg := obs.NewRegistry()
-	spec, err := buildSpec(ids, setNames, *seed)
+	spec, err := buildSpec(ids, setNames, *seed, *mined, *workers)
 	if err != nil {
 		return err
 	}
@@ -114,8 +127,10 @@ func run(args []string, w io.Writer) error {
 // buildSpec assembles the campaign over the requested T2 usage scenarios:
 // per scenario, the workload launches, cause catalog, the catalog bugs
 // whose target message exists in the scenario universe, and one traced
-// message set per requested selector.
-func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec, error) {
+// message set per requested selector. With mined set, every selector is
+// additionally run under flow specs mined from golden traces of the
+// scenario, contributing a "mined:"-prefixed set scored on the same runs.
+func buildSpec(scenarioIDs []int, setNames []string, seed int64, mined bool, workers int) (campaign.Spec, error) {
 	spec := campaign.Spec{Name: "t2", Seed: seed, MaxCycles: 0}
 	for _, id := range scenarioIDs {
 		s, err := opensparc.ScenarioByID(id)
@@ -141,14 +156,49 @@ func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec,
 		if err != nil {
 			return spec, err
 		}
+		var minedSes *pipeline.Session
+		if mined {
+			res, err := mineScenario(s, seed, workers)
+			if err != nil {
+				return spec, fmt.Errorf("scenario %d: mining: %w", s.ID, err)
+			}
+			flows, err := res.Materialize(fmt.Sprintf("mined-s%d-", s.ID))
+			if err != nil {
+				return spec, fmt.Errorf("scenario %d: mining: %w", s.ID, err)
+			}
+			insts := make([]flow.Instance, len(flows))
+			for i, f := range flows {
+				insts[i] = flow.Instance{Flow: f, Index: 1}
+			}
+			minedSes, err = pipeline.For(insts)
+			if err != nil {
+				return spec, fmt.Errorf("scenario %d: mined session: %w", s.ID, err)
+			}
+			spec.Mining = append(spec.Mining, campaign.MiningInfo{
+				Scenario: fmt.Sprintf("scenario-%d", s.ID),
+				Traces:   res.Traces,
+				Slices:   res.Slices,
+				Flows:    len(res.Flows),
+				Shared:   res.Shared,
+				Splits:   res.Splits,
+			})
+		}
 		var msets []campaign.MessageSet
 		ambiguity := make(map[string]float64, len(setNames))
-		for _, name := range setNames {
-			traced, err := tracedFor(name, ses, seed)
+		addSet := func(setName, provenance string, from *pipeline.Session) error {
+			traced, err := tracedFor(setName, from, seed)
 			if err != nil {
-				return spec, err
+				return err
 			}
-			msets = append(msets, campaign.MessageSet{Name: name, Traced: traced})
+			name := setName
+			if provenance == campaign.SpecMined {
+				name = "mined:" + setName
+			}
+			ms := campaign.MessageSet{Name: name, Traced: traced}
+			if mined {
+				ms.Spec = provenance
+			}
+			msets = append(msets, ms)
 			tracedSet := make(map[string]bool, len(traced))
 			for _, n := range traced {
 				tracedSet[n] = true
@@ -156,12 +206,25 @@ func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec,
 			// The analytical ambiguity of the set on this scenario — what the
 			// reconstruction engine would face per failing run. The T2
 			// products all sit under the pair-DP state limit, so this is
-			// exact.
+			// exact. Mined sets are evaluated on the TRUTH product too: the
+			// reconstruction a debugger runs happens against the real design,
+			// so that is the ambiguity comparable across provenances.
 			amb, err := reconstruct.ExpectedAmbiguity(ses.Product(), tracedSet)
 			if err != nil {
-				return spec, fmt.Errorf("scenario %d set %q ambiguity: %w", s.ID, name, err)
+				return fmt.Errorf("scenario %d set %q ambiguity: %w", s.ID, name, err)
 			}
 			ambiguity[name] = amb
+			return nil
+		}
+		for _, name := range setNames {
+			if err := addSet(name, campaign.SpecTruth, ses); err != nil {
+				return spec, err
+			}
+			if mined {
+				if err := addSet(name, campaign.SpecMined, minedSes); err != nil {
+					return spec, err
+				}
+			}
 		}
 		spec.Scenarios = append(spec.Scenarios, campaign.Scenario{
 			Name:      fmt.Sprintf("scenario-%d", s.ID),
@@ -175,6 +238,63 @@ func buildSpec(scenarioIDs []int, setNames []string, seed int64) (campaign.Spec,
 		})
 	}
 	return spec, nil
+}
+
+// Mined-corpus workload shape: minedCorpusReps golden traces per scenario,
+// each running every flow minedCorpusTags transactions deep with jittered
+// launch cycles and a wide latency spread. Diversity is load-bearing: a
+// flow's first message fires at exactly its launch cycle, so without
+// jitter every head message invariantly precedes every cross-flow non-head
+// message and the miner — soundly — merges what the corpus cannot tell
+// apart.
+const (
+	minedCorpusReps = 3
+	minedCorpusTags = 8
+	minedCorpusJit  = 13
+)
+
+// mineScenario simulates golden (bug-free) runs of the scenario, captures
+// them at full width with no wraparound, and mines a flow set from the
+// corpus. Corpus seeds derive from the campaign seed in a reserved index
+// range so they never collide with grid-point seeds.
+func mineScenario(s opensparc.Scenario, seed int64, workers int) (*mine.Result, error) {
+	var rules []tbuf.Rule
+	width := 0
+	for _, m := range s.Universe() {
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+		width += m.Width
+	}
+	plan, err := tbuf.NewCapturePlan(rules)
+	if err != nil {
+		return nil, err
+	}
+	var traces [][]tbuf.Entry
+	for r := 0; r < minedCorpusReps; r++ {
+		runSeed := campaign.DerivedSeed(seed, 1<<20+s.ID*64+r)
+		jit := rand.New(rand.NewSource(runSeed))
+		var launches []soc.Launch
+		for _, f := range s.Flows() {
+			for k := 1; k <= minedCorpusTags; k++ {
+				launches = append(launches, soc.Launch{
+					Flow: f, Index: k, Start: uint64(8*(k-1) + jit.Intn(minedCorpusJit)),
+				})
+			}
+		}
+		res, err := soc.Run(soc.Scenario{Name: s.Name, Launches: launches},
+			soc.Config{Seed: runSeed, MaxLatency: 20})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Passed() {
+			return nil, fmt.Errorf("golden corpus run %d failed: %v", r, res.Symptoms)
+		}
+		mon := soc.NewMonitor(plan, tbuf.New(width, len(res.Events)+1), nil)
+		if err := mon.Consume(res.Events); err != nil {
+			return nil, err
+		}
+		traces = append(traces, mon.Buffer().Entries())
+	}
+	return mine.Corpus(traces, mine.Options{Workers: workers})
 }
 
 // tracedFor resolves one selector name to its traced message set against
@@ -242,9 +362,38 @@ func renderSummary(w io.Writer, rep *campaign.Report) {
 		fmt.Fprintf(w, " %s %d", o, tally[o])
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-12s %8s %9s %9s %9s %9s %11s %11s %10s\n",
-		"set", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus", "mean.amb")
+	for _, mi := range rep.Mining {
+		fmt.Fprintf(w, "mining: %s: %d flows from %d slices across %d traces",
+			mi.Scenario, mi.Flows, mi.Slices, mi.Traces)
+		if len(mi.Shared) > 0 {
+			fmt.Fprintf(w, " (censored shared: %s)", strings.Join(mi.Shared, ", "))
+		}
+		if mi.Splits > 0 {
+			fmt.Fprintf(w, " (%d repair splits)", mi.Splits)
+		}
+		fmt.Fprintln(w)
+	}
+	withSpec := false
 	for _, c := range rep.Scorecards {
+		if c.Spec != "" {
+			withSpec = true
+			break
+		}
+	}
+	if withSpec {
+		fmt.Fprintf(w, "%-18s %-6s %8s %9s %9s %9s %9s %11s %11s %10s\n",
+			"set", "spec", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus", "mean.amb")
+	} else {
+		fmt.Fprintf(w, "%-12s %8s %9s %9s %9s %9s %11s %11s %10s\n",
+			"set", "symptom", "det.runs", "loc.runs", "det.bugs", "loc.bugs", "mean.depth", "mean.plaus", "mean.amb")
+	}
+	for _, c := range rep.Scorecards {
+		if withSpec {
+			fmt.Fprintf(w, "%-18s %-6s %8d %9d %9d %9d %9d %11.2f %11.2f %10.2f\n",
+				c.Set, c.Spec, c.SymptomRuns, c.RunsDetected, c.RunsLocalized,
+				c.BugsDetected, c.BugsLocalized, c.MeanDepth, c.MeanPlausible, c.MeanAmbiguity)
+			continue
+		}
 		fmt.Fprintf(w, "%-12s %8d %9d %9d %9d %9d %11.2f %11.2f %10.2f\n",
 			c.Set, c.SymptomRuns, c.RunsDetected, c.RunsLocalized,
 			c.BugsDetected, c.BugsLocalized, c.MeanDepth, c.MeanPlausible, c.MeanAmbiguity)

@@ -175,6 +175,63 @@ func maxBaselineLocalized(rep *campaign.Report) int {
 	return best
 }
 
+// TestMinedGoldenReport pins the mined-vs-truth campaign byte-for-byte:
+// the full grid with every selector run twice, once under the ground-truth
+// flow specs and once under specs mined from golden traces. The acceptance
+// criterion rides along: the mined mi set must detect within 2 bugs of the
+// truth mi set.
+func TestMinedGoldenReport(t *testing.T) {
+	raw, rep := renderReport(t, "-mined", "-sets", "mi")
+	golden := filepath.Join("testdata", "golden_mined.json")
+	if *update {
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Errorf("report differs from testdata/golden_mined.json (%d vs %d bytes); run with -update after verifying the change is intended",
+			len(raw), len(want))
+	}
+
+	if len(rep.Mining) != 3 {
+		t.Fatalf("mining provenance covers %d scenarios, want 3", len(rep.Mining))
+	}
+	for _, mi := range rep.Mining {
+		if mi.Flows == 0 || mi.Slices == 0 || mi.Traces == 0 {
+			t.Errorf("%s mining info is empty: %+v", mi.Scenario, mi)
+		}
+	}
+	truth, mined := rep.Card("mi"), rep.Card("mined:mi")
+	if truth == nil || mined == nil {
+		t.Fatalf("missing scorecards: truth %v mined %v", truth, mined)
+	}
+	if truth.Spec != campaign.SpecTruth || mined.Spec != campaign.SpecMined {
+		t.Errorf("spec provenance: truth %q mined %q", truth.Spec, mined.Spec)
+	}
+	if d := truth.BugsDetected - mined.BugsDetected; d > 2 || d < -2 {
+		t.Errorf("mined mi detects %d bugs, truth mi %d — more than 2 apart",
+			mined.BugsDetected, truth.BugsDetected)
+	}
+	if mined.MeanAmbiguity < 1 {
+		t.Errorf("mined mi mean ambiguity %g below 1 is impossible", mined.MeanAmbiguity)
+	}
+}
+
+// Mining inherits the campaign's determinism guarantee: the mined-vs-truth
+// report must be byte-identical at any worker count (mining's consistency
+// oracle shards slices across the same worker budget).
+func TestMinedReportIndependentOfWorkers(t *testing.T) {
+	one, _ := renderReport(t, "-mined", "-scenario", "2", "-sets", "mi", "-workers", "1")
+	again, _ := renderReport(t, "-mined", "-scenario", "2", "-sets", "mi", "-workers", "3")
+	if !bytes.Equal(one, again) {
+		t.Error("mined reports differ between -workers 1 and -workers 3")
+	}
+}
+
 // The CLI must inherit the runner's determinism: every worker count —
 // including the MI-vs-ambiguity scorecard's float aggregation — must
 // reproduce the same report bytes (CI runs this package under -race).

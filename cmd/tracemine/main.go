@@ -1,75 +1,188 @@
-// Command tracemine bootstraps flow collateral from traces: given the
-// trace file of a directed test that exercises one protocol, it mines the
-// per-tag message order and emits a scenario spec that cmd/tracesel can
-// run selection on — closing the loop from silicon observation back to
-// the flow specifications the method needs.
+// Command tracemine bootstraps flow collateral from traces. Given trace
+// files of directed tests that exercise one protocol, it mines the per-tag
+// message order; given an interleaved multi-flow corpus, it infers the
+// whole flow set, censoring shared and rare messages and pruning
+// interleaving artifacts against trace consistency. Either way it can emit
+// a scenario spec that cmd/tracesel and the mined-vs-truth campaign run
+// selection on — closing the loop from silicon observation back to the
+// flow specifications the method needs.
 //
-//	tracemine pio.trace                      # mined chain summary
-//	tracemine -spec -name PIOR pio.trace     # scenario spec (JSON) on stdout
-//	tracemine -spec -instances 2 pio.trace   # two legally indexed instances
+//	tracemine pio.trace                          # mined chain summary
+//	tracemine run1.trace run2.trace              # merge a single-flow corpus
+//	tracemine traces/                            # every *.trace in a directory
+//	tracemine -spec -name PIOR pio.trace         # scenario spec (JSON) on stdout
+//	tracemine -spec -instances 2 pio.trace       # two legally indexed instances
+//	tracemine -interleaved traces/               # mine a multi-flow corpus
+//	tracemine -interleaved -min-support 3 -spec -name t2mix traces/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
-	"tracescale/internal/flow"
 	"tracescale/internal/mine"
 	"tracescale/internal/spec"
+	"tracescale/internal/tbuf"
 	"tracescale/internal/trace"
 )
 
 func main() {
-	var (
-		emitSpec  = flag.Bool("spec", false, "emit a scenario spec (JSON) instead of a summary")
-		name      = flag.String("name", "mined", "flow name for the emitted spec")
-		instances = flag.Int("instances", 1, "indexed instances in the emitted scenario")
-		width     = flag.Int("width", 32, "trace buffer width in the emitted spec")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	entries, err := trace.Parse(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
-	mined, err := mine.Chain(entries)
-	if err != nil {
-		fail(err)
-	}
-
-	if !*emitSpec {
-		fmt.Printf("mined a %d-message chain from %d transactions:\n", len(mined.Order), mined.Tags)
-		for i, o := range mined.Order {
-			fmt.Printf("  %2d. %-16s %2d bits (%d occurrences)\n", i+1, o.Name, o.Width, o.Count)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
 		}
-		return
-	}
-
-	fl, err := mined.Flow(*name)
-	if err != nil {
-		fail(err)
-	}
-	insts := make([]flow.Instance, *instances)
-	for i := range insts {
-		insts[i] = flow.Instance{Flow: fl, Index: i + 1}
-	}
-	s := spec.FromFlows(*name, []*flow.Flow{fl}, insts, *width)
-	if err := spec.Write(os.Stdout, s); err != nil {
-		fail(err)
+		fmt.Fprintln(os.Stderr, "tracemine:", err)
+		os.Exit(1)
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracemine:", err)
-	os.Exit(1)
+// errUsage signals a bad invocation: usage was already printed, exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// run executes one tracemine invocation against the given argument list,
+// writing all output to w. main is a thin exit-code shim around it, so
+// tests drive the full CLI in-process with a bytes.Buffer.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracemine", flag.ContinueOnError)
+	var (
+		emitSpec    = fs.Bool("spec", false, "emit a scenario spec (JSON) instead of a summary")
+		name        = fs.String("name", "mined", "flow name for the emitted spec")
+		instances   = fs.Int("instances", 1, "indexed instances per flow in the emitted scenario")
+		width       = fs.Int("width", 32, "trace buffer width in the emitted spec")
+		interleaved = fs.Bool("interleaved", false, "mine a multi-flow corpus instead of a single chain")
+		minSupport  = fs.Int("min-support", 0, "slices a message must occur in to be mined (default 2)")
+		confidence  = fs.Float64("min-confidence", 0, "fraction of pair co-occurrences that must agree on one order (default 1)")
+		workers     = fs.Int("workers", 0, "consistency-oracle workers (default GOMAXPROCS; any count mines the same result)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	paths, err := expandArgs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		fs.Usage()
+		return errUsage
+	}
+	traces := make([][]tbuf.Entry, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		entries, err := trace.Parse(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		traces[i] = entries
+	}
+
+	if *interleaved {
+		res, err := mine.Corpus(traces, mine.Options{
+			MinSupport: *minSupport, MinConfidence: *confidence, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		if !*emitSpec {
+			renderCorpus(w, res)
+			return nil
+		}
+		s, err := res.Scenario(*name, *instances, *width)
+		if err != nil {
+			return err
+		}
+		return spec.Write(w, s)
+	}
+
+	// Single-protocol mode: each file is one directed test of the same
+	// flow; chains are mined per file and merged.
+	chains := make([]*mine.Mined, len(traces))
+	for i, entries := range traces {
+		m, err := mine.Chain(entries)
+		if err != nil {
+			return fmt.Errorf("%s: %w", paths[i], err)
+		}
+		chains[i] = m
+	}
+	mined, err := mine.Merge(chains)
+	if err != nil {
+		return err
+	}
+	if !*emitSpec {
+		fmt.Fprintf(w, "mined a %d-message chain from %d transactions across %d traces", len(mined.Order), mined.Tags, len(paths))
+		if mined.Skipped > 0 {
+			fmt.Fprintf(w, " (%d truncated skipped)", mined.Skipped)
+		}
+		fmt.Fprintln(w, ":")
+		for i, o := range mined.Order {
+			fmt.Fprintf(w, "  %2d. %-16s %2d bits (%d occurrences)\n", i+1, o.Name, o.Width, o.Count)
+		}
+		return nil
+	}
+	res := &mine.Result{Flows: []*mine.Mined{mined}}
+	s, err := res.Scenario(*name, *instances, *width)
+	if err != nil {
+		return err
+	}
+	return spec.Write(w, s)
+}
+
+// renderCorpus prints the corpus mining summary: the accepted flow set,
+// the censored messages, and the repair count.
+func renderCorpus(w io.Writer, res *mine.Result) {
+	fmt.Fprintf(w, "mined %d flows from %d transaction slices across %d traces", len(res.Flows), res.Slices, res.Traces)
+	if res.Truncated > 0 {
+		fmt.Fprintf(w, " (%d slices truncated)", res.Truncated)
+	}
+	fmt.Fprintln(w, ":")
+	for fi, m := range res.Flows {
+		fmt.Fprintf(w, "flow %d (%d complete, %d truncated):\n", fi, m.Tags, m.Skipped)
+		for i, o := range m.Order {
+			fmt.Fprintf(w, "  %2d. %-16s %2d bits (%d occurrences)\n", i+1, o.Name, o.Width, o.Count)
+		}
+	}
+	if len(res.Shared) > 0 {
+		fmt.Fprintf(w, "shared (unattributable, censored): %s\n", strings.Join(res.Shared, ", "))
+	}
+	if len(res.LowSupport) > 0 {
+		fmt.Fprintf(w, "below support (censored): %s\n", strings.Join(res.LowSupport, ", "))
+	}
+	if res.Splits > 0 {
+		fmt.Fprintf(w, "consistency repairs: %d candidate splits\n", res.Splits)
+	}
+}
+
+// expandArgs resolves the positional arguments: files pass through,
+// directories expand to their *.trace files sorted by name so corpus runs
+// are reproducible regardless of filesystem order.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.trace"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.trace files", a)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
 }

@@ -45,6 +45,16 @@ import (
 	"tracescale/internal/soc"
 )
 
+// Spec provenances for a message set: which flow specifications drove the
+// selection that produced it.
+const (
+	// SpecTruth marks a set selected under the ground-truth flow specs.
+	SpecTruth = "truth"
+	// SpecMined marks a set selected under specs mined from golden traces
+	// (the mined-vs-truth campaign mode).
+	SpecMined = "mined"
+)
+
 // MessageSet is one competing traced-message configuration to score — the
 // paper's MI-selected set, or a structural baseline.
 type MessageSet struct {
@@ -53,6 +63,11 @@ type MessageSet struct {
 	// Traced are the observable message names. Every name must belong to
 	// the owning scenario's Universe.
 	Traced []string
+	// Spec records the provenance of the flow specifications the set was
+	// selected under — SpecTruth or SpecMined. Empty means unstated
+	// (legacy campaigns); when set, it must be one of the constants and
+	// agree across scenarios for the same set name.
+	Spec string
 }
 
 // Scenario couples one simulator workload with the debugging context the
@@ -105,6 +120,11 @@ type Spec struct {
 	MaxCycles uint64
 	// Scenarios are the grid's workload axis.
 	Scenarios []Scenario
+	// Mining optionally carries, per scenario, a summary of the spec
+	// mining that produced the SpecMined sets. The runner copies it into
+	// the Report verbatim; empty means no mined sets (legacy reports stay
+	// byte-identical).
+	Mining []MiningInfo
 	// Obs receives campaign.* metrics (runs started/completed/timed-out/
 	// retried, per-bug symptom counters, wall-time histograms). Nil
 	// disables instrumentation (the obs contract).
@@ -198,6 +218,10 @@ func (s *Spec) validate() error {
 				return fmt.Errorf("campaign: scenario %q declares message set %q twice", scn.Name, set.Name)
 			}
 			seen[set.Name] = true
+			if set.Spec != "" && set.Spec != SpecTruth && set.Spec != SpecMined {
+				return fmt.Errorf("campaign: scenario %q set %q has spec provenance %q, want %q or %q",
+					scn.Name, set.Name, set.Spec, SpecTruth, SpecMined)
+			}
 			if len(set.Traced) == 0 {
 				return fmt.Errorf("campaign: scenario %q set %q traces no messages", scn.Name, set.Name)
 			}
@@ -206,7 +230,9 @@ func (s *Spec) validate() error {
 					return fmt.Errorf("campaign: scenario %q set %q traces %q, not in the scenario universe", scn.Name, set.Name, n)
 				}
 			}
-			names = append(names, set.Name)
+			// The compared identity includes the spec provenance, so a set
+			// cannot be truth-selected in one scenario and mined in another.
+			names = append(names, set.Name+specSuffix(set.Spec))
 		}
 		for name, a := range scn.Ambiguity {
 			if !seen[name] {
@@ -292,7 +318,11 @@ func Run(spec Spec) (*Report, error) {
 		Sets: setNames(s),
 		Runs: records,
 	}
+	rep.Mining = append([]MiningInfo(nil), s.Mining...)
 	rep.Scorecards = scorecards(rep.Sets, records)
+	for k := range rep.Scorecards {
+		rep.Scorecards[k].Spec = s.Scenarios[0].Sets[k].Spec
+	}
 	meanAmbiguity(s, rep)
 	reg.Trace().Emit("campaign", "run", map[string]int64{
 		"scenarios": int64(len(s.Scenarios)),
@@ -546,6 +576,15 @@ func meanAmbiguity(s *Spec, rep *Report) {
 			rep.Scorecards[k].MeanAmbiguity = sum / float64(n)
 		}
 	}
+}
+
+// specSuffix renders a set's provenance for identity comparison — empty
+// provenance adds nothing, so legacy specs compare exactly as before.
+func specSuffix(spec string) string {
+	if spec == "" {
+		return ""
+	}
+	return "(" + spec + ")"
 }
 
 // sortedCount counts a set's members via its sorted key list — the

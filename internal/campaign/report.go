@@ -63,9 +63,31 @@ type RunRecord struct {
 	Scores []RunScore `json:"scores,omitempty"`
 }
 
+// MiningInfo summarizes how one scenario's mined flow specifications were
+// produced — the provenance record of a mined-vs-truth campaign.
+type MiningInfo struct {
+	// Scenario names the campaign scenario the specs were mined for.
+	Scenario string `json:"scenario"`
+	// Traces and Slices describe the golden corpus the miner consumed.
+	Traces int `json:"traces"`
+	Slices int `json:"slices"`
+	// Flows is the mined flow count (the truth flow count when mining
+	// recovered the scenario exactly).
+	Flows int `json:"flows"`
+	// Shared lists message names the miner censored as unattributable
+	// (carried by several flows, like T2's siincu).
+	Shared []string `json:"shared,omitempty"`
+	// Splits counts the consistency-repair ejections the miner needed.
+	Splits int `json:"splits,omitempty"`
+}
+
 // Scorecard aggregates one message set across the whole grid.
 type Scorecard struct {
 	Set string `json:"set"`
+	// Spec is the provenance of the flow specs the set was selected under
+	// (SpecTruth or SpecMined); empty for legacy campaigns that do not
+	// state one.
+	Spec string `json:"spec,omitempty"`
 	// SymptomRuns counts scored runs that manifested a symptom — the
 	// denominator for the localization rates and means below.
 	SymptomRuns int `json:"symptom_runs"`
@@ -95,12 +117,15 @@ type Scorecard struct {
 // of which reach the report unless a timeout actually fires) serialize to
 // byte-identical JSON.
 type Report struct {
-	Name       string      `json:"name"`
-	Seed       int64       `json:"seed"`
-	Grid       GridInfo    `json:"grid"`
-	Sets       []string    `json:"sets"`
-	Scorecards []Scorecard `json:"scorecards"`
-	Runs       []RunRecord `json:"runs"`
+	Name string   `json:"name"`
+	Seed int64    `json:"seed"`
+	Grid GridInfo `json:"grid"`
+	Sets []string `json:"sets"`
+	// Mining records per-scenario spec-mining provenance when the campaign
+	// scored mined sets; absent otherwise (legacy reports are unchanged).
+	Mining     []MiningInfo `json:"mining,omitempty"`
+	Scorecards []Scorecard  `json:"scorecards"`
+	Runs       []RunRecord  `json:"runs"`
 }
 
 // Card returns the scorecard for the named set, or nil.

@@ -97,9 +97,13 @@ func TestMineErrors(t *testing.T) {
 		}
 		return out
 	}
-	// Length mismatch across tags.
-	if _, err := Chain(append(mk(1, "a", "b"), mk(2, "a")...)); err == nil {
-		t.Error("length mismatch accepted")
+	// A shorter tag that is not a contiguous fragment: [a, c] skips b.
+	if _, err := Chain(append(mk(1, "a", "b", "c"), mk(2, "a", "c")...)); err == nil {
+		t.Error("gapped subsequence accepted")
+	}
+	// A tag carrying a message the reference never saw.
+	if _, err := Chain(append(mk(1, "a", "b"), mk(2, "z")...)); err == nil {
+		t.Error("foreign message accepted")
 	}
 	// Order mismatch.
 	if _, err := Chain(append(mk(1, "a", "b"), mk(2, "b", "a")...)); err == nil {
@@ -109,10 +113,111 @@ func TestMineErrors(t *testing.T) {
 	if _, err := Chain(mk(1, "a", "a")); err == nil {
 		t.Error("repeating message accepted")
 	}
+	// A truncated fragment is NOT an error: [b] is a contiguous infix of
+	// [a, b, c] (wraparound ate a, capture stopped before c).
+	m2, err := Chain(append(mk(1, "a", "b", "c"), mk(2, "b")...))
+	if err != nil {
+		t.Fatalf("infix fragment rejected: %v", err)
+	}
+	if m2.Tags != 1 || m2.Skipped != 1 || len(m2.SkippedTags) != 1 || m2.SkippedTags[0] != 2 {
+		t.Errorf("fragment bookkeeping: tags %d skipped %d tags %v", m2.Tags, m2.Skipped, m2.SkippedTags)
+	}
 	// Flow from nothing.
 	m := &Mined{}
 	if _, err := m.Flow("x"); err == nil {
 		t.Error("empty mined flow accepted")
+	}
+}
+
+// Recording through a trace buffer too shallow for the run wraps the
+// circular memory: the oldest entries — the leading transactions' early
+// messages — are evicted, leaving truncated fragments. Chain must mine the
+// surviving complete tags and report the fragments, not mis-error with
+// "not a single linear flow" (the pre-fix behavior, which took the first
+// tag — exactly the truncated one — as the reference).
+func TestMineChainSkipsWrapTruncatedTags(t *testing.T) {
+	f := opensparc.PIOR()
+	var rules []tbuf.Rule
+	width := 0
+	for _, m := range f.Messages() {
+		rules = append(rules, tbuf.Rule{Message: m.Name, Width: m.Width, Bits: m.Width})
+		width += m.Width
+	}
+	plan, err := tbuf.NewCapturePlan(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := soc.Run(soc.Scenario{Name: f.Name(), Launches: soc.Repeat(f, 12, 1, 0, 8)},
+		soc.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 transactions x 5 messages = 60 entries through a 38-deep buffer:
+	// the depth is deliberately not a multiple of the transaction length,
+	// so eviction is guaranteed to cut one transaction mid-flight.
+	buf := tbuf.New(width, 38)
+	mon := soc.NewMonitor(plan, buf, nil)
+	if err := mon.Consume(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Overflowed() {
+		t.Fatal("buffer did not wrap; deepen the workload")
+	}
+	m, err := Chain(buf.Entries())
+	if err != nil {
+		t.Fatalf("wrapped trace rejected: %v", err)
+	}
+	if m.Skipped == 0 {
+		t.Error("no truncated transactions reported despite wraparound")
+	}
+	if m.Tags == 0 {
+		t.Error("no complete transactions mined")
+	}
+	if m.Tags+m.Skipped > 12 {
+		t.Errorf("tags %d + skipped %d exceed the 12 launched", m.Tags, m.Skipped)
+	}
+	if len(m.SkippedTags) != m.Skipped {
+		t.Errorf("SkippedTags %v does not match Skipped %d", m.SkippedTags, m.Skipped)
+	}
+	// The mined order is still the ground-truth chain.
+	var want []string
+	f.Executions(func(e flow.Execution) bool {
+		for _, msg := range e.Trace() {
+			want = append(want, msg.Name)
+		}
+		return false
+	})
+	if len(m.Order) != len(want) {
+		t.Fatalf("mined %d messages, want %d", len(m.Order), len(want))
+	}
+	for i, o := range m.Order {
+		if o.Name != want[i] {
+			t.Errorf("position %d mined %s, want %s", i, o.Name, want[i])
+		}
+	}
+}
+
+// Merge combines per-file chains; disagreeing corpora are rejected.
+func TestMergeChains(t *testing.T) {
+	a := &Mined{Order: []Observation{{Name: "x", Width: 2, Count: 3}}, Tags: 3}
+	b := &Mined{Order: []Observation{{Name: "x", Width: 4, Count: 2}}, Tags: 2, Skipped: 1, SkippedTags: []int{7}}
+	m, err := Merge([]*Mined{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order[0].Width != 4 || m.Order[0].Count != 5 || m.Tags != 5 || m.Skipped != 1 {
+		t.Errorf("merged = %+v", m)
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	c := &Mined{Order: []Observation{{Name: "y"}}}
+	if _, err := Merge([]*Mined{a, c}); err == nil {
+		t.Error("disagreeing corpus accepted")
+	}
+	d := &Mined{Order: []Observation{{Name: "x"}, {Name: "y"}}}
+	if _, err := Merge([]*Mined{a, d}); err == nil {
+		t.Error("length-mismatched corpus accepted")
 	}
 }
 

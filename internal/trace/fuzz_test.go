@@ -13,6 +13,8 @@ func FuzzParse(f *testing.F) {
 	f.Add("# comment only\n")
 	f.Add("@0 0:x 0")
 	f.Add("@18446744073709551615 -3:neg 1")
+	f.Add("@7 -1:neg 101\n")
+	f.Add("@7 1:wide " + strings.Repeat("0", 65) + "1\n")
 	f.Add("garbage")
 	f.Fuzz(func(t *testing.T, in string) {
 		entries, err := Parse(strings.NewReader(in))

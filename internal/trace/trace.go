@@ -74,10 +74,21 @@ func parseLine(line string) (tbuf.Entry, error) {
 	if err != nil {
 		return e, fmt.Errorf("bad index: %w", err)
 	}
+	if i < 0 {
+		// Instance indexes are architectural transaction tags; a monitor
+		// can never emit a negative one, so this is file corruption.
+		return e, fmt.Errorf("negative instance index %d in %q", i, fields[1])
+	}
 	if name == "" {
 		return e, fmt.Errorf("empty message name in %q", fields[1])
 	}
 	e.Msg = flow.IndexedMsg{Name: name, Index: i}
+	// The bit count is the field length, so bound it before parsing: a
+	// zero-padded field longer than 64 bits would still parse as a small
+	// value but claim a width no message (or trace buffer rule) supports.
+	if len(fields[2]) > 64 {
+		return e, fmt.Errorf("data field %d bits wide, messages are at most 64", len(fields[2]))
+	}
 	data, err := strconv.ParseUint(fields[2], 2, 64)
 	if err != nil {
 		return e, fmt.Errorf("bad data bits: %w", err)

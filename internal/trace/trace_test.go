@@ -59,6 +59,8 @@ func TestParseErrors(t *testing.T) {
 		"@5 1: 01",          // empty name
 		"@5 1:m 012",        // non-binary data
 		"@5 1:m 01 extra z", // too many fields
+		"@5 -3:m 01",        // negative instance index
+		"@5 1:m " + strings.Repeat("0", 65) + "1", // 66-bit data field
 	}
 	for _, c := range cases {
 		if _, err := Parse(strings.NewReader(c)); err == nil {
